@@ -1,0 +1,173 @@
+package cdcs
+
+// One benchmark per table and figure in the paper's evaluation. Each bench
+// regenerates its experiment at reduced mix counts (QuickOptions) and
+// reports the experiment's headline scalars as custom metrics, so
+// `go test -bench=. -benchmem` reproduces the whole evaluation and prints
+// the numbers EXPERIMENTS.md records against the paper.
+
+import (
+	"testing"
+
+	"cdcs/internal/exp"
+)
+
+// runExp executes an experiment once per benchmark iteration and reports
+// the selected scalars.
+func runExp(b *testing.B, id string, metrics ...string) {
+	b.Helper()
+	opts := exp.QuickOptions()
+	var rep *exp.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = exp.Run(id, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, m := range metrics {
+		if v, ok := rep.Scalars[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+func BenchmarkTable1CaseStudy(b *testing.B) {
+	runExp(b, "table1", "ws:CDCS", "ws:Jigsaw+R", "omnet:CDCS")
+}
+
+func BenchmarkFig1PlacementMaps(b *testing.B) {
+	runExp(b, "fig1", "omnetHops:Jigsaw+C", "omnetHops:CDCS")
+}
+
+func BenchmarkFig2MissCurves(b *testing.B) {
+	runExp(b, "fig2", "omnet@1MB", "omnet@3MB")
+}
+
+func BenchmarkFig5LatencyCurve(b *testing.B) {
+	runExp(b, "fig5", "sweetSpotMB")
+}
+
+func BenchmarkFig11WeightedSpeedup(b *testing.B) {
+	runExp(b, "fig11", "gmean:CDCS", "gmean:Jigsaw+R", "gmean:R-NUCA", "energy:CDCS")
+}
+
+func BenchmarkFig12FactorAnalysis(b *testing.B) {
+	runExp(b, "fig12", "gmean:+LTD:64", "gmean:+L:4")
+}
+
+func BenchmarkFig13Undercommitted(b *testing.B) {
+	runExp(b, "fig13", "gmean:CDCS:4", "gmean:Jigsaw+C:4")
+}
+
+func BenchmarkFig14FourApps(b *testing.B) {
+	runExp(b, "fig14", "gmean:CDCS", "gmean:Jigsaw+C")
+}
+
+func BenchmarkFig15Multithreaded(b *testing.B) {
+	runExp(b, "fig15", "gmean:CDCS", "gmean:Jigsaw+C", "gmean:Jigsaw+R")
+}
+
+func BenchmarkFig16UndercommittedMT(b *testing.B) {
+	runExp(b, "fig16", "gmean:CDCS", "spread:mgrid", "spread:ilbdc")
+}
+
+func BenchmarkFig17ReconfigTrace(b *testing.B) {
+	runExp(b, "fig17", "penalty:background-invs", "penalty:bulk-invs")
+}
+
+func BenchmarkFig18ReconfigPeriod(b *testing.B) {
+	runExp(b, "fig18", "steadyWS")
+}
+
+func BenchmarkTable3RuntimeOverheads(b *testing.B) {
+	runExp(b, "table3", "totalMcyc:64/64", "overheadPct:64/64")
+}
+
+func BenchmarkSec6COptimalPlacement(b *testing.B) {
+	runExp(b, "sec6c-ilp", "cdcsOverOptimal")
+}
+
+func BenchmarkSec6CAnnealing(b *testing.B) {
+	runExp(b, "sec6c-anneal", "cdcsOverAnneal")
+}
+
+func BenchmarkSec6CGraphPartition(b *testing.B) {
+	runExp(b, "sec6c-graph", "graphOverCDCS")
+}
+
+func BenchmarkSec6CMonitors(b *testing.B) {
+	runExp(b, "sec6c-gmon", "rms:GMON-64w", "rms:UMON-64w", "rms:UMON-512w")
+}
+
+func BenchmarkSec6CBankPartitioned(b *testing.B) {
+	runExp(b, "sec6c-bank", "gmean:CDCS-bank", "gmean:CDCS")
+}
+
+// Ablations and extensions beyond the paper's figures.
+
+func BenchmarkAblationTradeRounds(b *testing.B) {
+	runExp(b, "ablation-trades", "gainFrac:1")
+}
+
+func BenchmarkAblationGMONWays(b *testing.B) {
+	runExp(b, "ablation-gmon-ways", "rms:64", "rms:16")
+}
+
+func BenchmarkAblationChunkGranularity(b *testing.B) {
+	runExp(b, "ablation-chunk", "gmean:div64", "gmean:div1")
+}
+
+func BenchmarkExtNUMAAwareLatency(b *testing.B) {
+	runExp(b, "ext-numa", "gmean:CDCS")
+}
+
+func BenchmarkExtMonitorClosedLoop(b *testing.B) {
+	runExp(b, "ext-monitor", "curveMAE", "measuredOverTrue")
+}
+
+func BenchmarkExtNoCValidation(b *testing.B) {
+	runExp(b, "ext-noc", "queueing:CDCS", "queueing:S-NUCA")
+}
+
+func BenchmarkExtPhasedWorkloads(b *testing.B) {
+	runExp(b, "ext-phases", "adaptGain")
+}
+
+func BenchmarkExtHWSimValidation(b *testing.B) {
+	runExp(b, "ext-hwsim", "meanErr", "maxErr")
+}
+
+func BenchmarkExtScaling(b *testing.B) {
+	runExp(b, "ext-scaling", "cdcs:16", "cdcs:144")
+}
+
+// Microbenchmarks of the hot reconfiguration path (Table 3's components).
+
+func BenchmarkReconfigure64Apps(b *testing.B) {
+	sys := DefaultSystem()
+	mix, err := RandomMix(1, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Run(CDCS, mix, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselineSNUCA64Apps(b *testing.B) {
+	sys := DefaultSystem()
+	mix, err := RandomMix(1, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Run(SNUCA, mix, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+// Package cdcs is a library-level reproduction of "Scaling Distributed
+// Cache Hierarchies through Computation and Data Co-Scheduling" (Beckmann,
+// Tsai, Sanchez — HPCA 2015).
+//
+// It models a tiled CMP with a distributed, partitioned NUCA last-level
+// cache and implements the paper's full stack: geometric miss-curve
+// monitors (GMONs), latency-aware capacity allocation (Peekahead over
+// total-latency curves), optimistic contention-aware virtual-cache
+// placement, thread placement, refined placement with capacity trades, and
+// incremental reconfigurations via demand moves and background
+// invalidations — alongside the S-NUCA, R-NUCA and Jigsaw baselines it is
+// evaluated against.
+//
+// Quick start:
+//
+//	sys := cdcs.DefaultSystem()
+//	mix, _ := cdcs.RandomMix(1, 64)
+//	cmp, _ := sys.Compare(mix, 1, cdcs.SNUCA, cdcs.CDCS)
+//	fmt.Printf("CDCS weighted speedup: %.2f\n", cmp.WeightedSpeedup["CDCS"])
+//
+// Every table and figure of the paper's evaluation can be regenerated with
+// Experiment (or the cmd/cdcs CLI); see EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
+package cdcs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cdcs/internal/core"
+	"cdcs/internal/exp"
+	"cdcs/internal/mesh"
+	"cdcs/internal/place"
+	"cdcs/internal/policy"
+	"cdcs/internal/sim"
+	"cdcs/internal/stats"
+	"cdcs/internal/workload"
+)
+
+// Config describes the modeled CMP. The zero value is not valid; start from
+// DefaultConfig.
+type Config struct {
+	// MeshWidth and MeshHeight set the tile grid (the paper: 8×8).
+	MeshWidth, MeshHeight int
+	// BankKB is the per-tile LLC bank capacity in KB (the paper: 512).
+	BankKB int
+	// BankLatency, HopLatency, MemLatency are in cycles.
+	BankLatency float64
+	HopLatency  float64
+	MemLatency  float64
+	// MemChannels and MemBandwidthGBs describe the memory system.
+	MemChannels int
+}
+
+// DefaultConfig returns the paper's 64-tile configuration (Table 2).
+func DefaultConfig() Config {
+	return Config{
+		MeshWidth: 8, MeshHeight: 8,
+		BankKB:      512,
+		BankLatency: 9,
+		HopLatency:  4,
+		MemLatency:  120,
+		MemChannels: 8,
+	}
+}
+
+// System is a configured machine model; create with NewSystem.
+type System struct {
+	env policy.Env
+}
+
+// NewSystem validates a config and builds a System.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.MeshWidth < 1 || cfg.MeshHeight < 1 {
+		return nil, fmt.Errorf("cdcs: invalid mesh %dx%d", cfg.MeshWidth, cfg.MeshHeight)
+	}
+	if cfg.BankKB <= 0 {
+		return nil, fmt.Errorf("cdcs: invalid bank size %dKB", cfg.BankKB)
+	}
+	env := policy.DefaultEnv()
+	env.Chip = place.Chip{
+		Topo:      mesh.New(cfg.MeshWidth, cfg.MeshHeight),
+		BankLines: float64(cfg.BankKB) * 1024 / workload.LineBytes,
+	}
+	if cfg.BankLatency > 0 {
+		env.Params.BankLatency = cfg.BankLatency
+	}
+	if cfg.HopLatency > 0 {
+		env.Params.HopLatency = cfg.HopLatency
+		env.Model.HopLatency = cfg.HopLatency
+	}
+	if cfg.MemLatency > 0 {
+		env.Params.MemZeroLoad = cfg.MemLatency
+		env.Model.MemLatency = cfg.MemLatency + env.Params.MemBurst
+	}
+	if cfg.MemChannels > 0 {
+		env.Params.Channels = cfg.MemChannels
+	}
+	return &System{env: env}, nil
+}
+
+// DefaultSystem returns the paper's 64-tile system.
+func DefaultSystem() *System {
+	s, err := NewSystem(DefaultConfig())
+	if err != nil {
+		panic(err) // DefaultConfig is always valid
+	}
+	return s
+}
+
+// Cores returns the number of cores (= tiles = banks).
+func (s *System) Cores() int { return s.env.Chip.Banks() }
+
+// LLCBytes returns total LLC capacity in bytes.
+func (s *System) LLCBytes() int {
+	return int(s.env.Chip.TotalLines()) * workload.LineBytes
+}
+
+// Scheme selects a NUCA organization + thread scheduler.
+type Scheme struct {
+	inner policy.Scheme
+}
+
+// Name returns the scheme's display name.
+func (s Scheme) Name() string { return s.inner.Name() }
+
+// The evaluated schemes.
+var (
+	// SNUCA is a static NUCA: lines spread over all banks.
+	SNUCA = Scheme{policy.SchemeSNUCA}
+	// RNUCA places private data locally and spreads shared data (R-NUCA).
+	RNUCA = Scheme{policy.SchemeRNUCA}
+	// JigsawC is Jigsaw with the clustered thread scheduler.
+	JigsawC = Scheme{policy.SchemeJigsawC}
+	// JigsawR is Jigsaw with the random thread scheduler.
+	JigsawR = Scheme{policy.SchemeJigsawR}
+	// CDCS is the paper's full computation-and-data co-scheduler.
+	CDCS = Scheme{policy.SchemeCDCS}
+)
+
+// CDCSVariant builds a partial CDCS for factor analysis: enable latency-
+// aware allocation (+L), thread placement (+T) and/or refined trades (+D).
+// With all false it degenerates to Jigsaw with random thread placement.
+func CDCSVariant(latencyAware, threadPlace, refinedTrades bool) Scheme {
+	threads := policy.Random
+	if threadPlace {
+		threads = policy.Placed
+	}
+	label := "CDCS["
+	for _, f := range []struct {
+		on bool
+		c  string
+	}{{latencyAware, "L"}, {threadPlace, "T"}, {refinedTrades, "D"}} {
+		if f.on {
+			label += f.c
+		}
+	}
+	label += "]"
+	return Scheme{policy.Scheme{
+		Kind:    policy.CDCS,
+		Threads: threads,
+		Feats: core.Features{
+			LatencyAware:  latencyAware,
+			ThreadPlace:   threadPlace,
+			RefinedTrades: refinedTrades,
+		},
+		Label: label,
+	}}
+}
+
+// Schemes returns all five standard schemes in the paper's order.
+func Schemes() []Scheme {
+	return []Scheme{SNUCA, RNUCA, JigsawC, JigsawR, CDCS}
+}
+
+// Mix is a workload: a set of single- and multi-threaded app instances.
+type Mix struct {
+	inner *workload.Mix
+}
+
+// NewMix returns an empty mix; populate with Add / AddMT.
+func NewMix() *Mix { return &Mix{inner: workload.NewMix()} }
+
+// Add appends n instances of a single-threaded benchmark (see Benchmarks).
+func (m *Mix) Add(bench string, n int) error {
+	p := workload.ByName(workload.SPECCPU(), bench)
+	if p == nil {
+		return fmt.Errorf("cdcs: unknown benchmark %q", bench)
+	}
+	for i := 0; i < n; i++ {
+		m.inner.AddST(p)
+	}
+	return nil
+}
+
+// AddMT appends n instances of an 8-thread benchmark (see MTBenchmarks).
+func (m *Mix) AddMT(bench string, n int) error {
+	p := workload.MTByName(workload.SPECOMP(), bench)
+	if p == nil {
+		return fmt.Errorf("cdcs: unknown MT benchmark %q", bench)
+	}
+	for i := 0; i < n; i++ {
+		m.inner.AddMT(p)
+	}
+	return nil
+}
+
+// Threads returns the mix's total thread count.
+func (m *Mix) Threads() int { return len(m.inner.Threads) }
+
+// Apps returns the mix's process count.
+func (m *Mix) Apps() int { return len(m.inner.Procs) }
+
+// AppNames lists instance names ("omnet#1", ...).
+func (m *Mix) AppNames() []string {
+	out := make([]string, len(m.inner.Procs))
+	for i, p := range m.inner.Procs {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// RandomMix draws n single-threaded apps uniformly from the benchmark set.
+func RandomMix(seed int64, n int) (*Mix, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cdcs: mix needs at least one app")
+	}
+	return &Mix{inner: workload.RandomST(rand.New(rand.NewSource(seed)), workload.SPECCPU(), n)}, nil
+}
+
+// RandomMTMix draws n 8-thread apps uniformly from the MT benchmark set.
+func RandomMTMix(seed int64, n int) (*Mix, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cdcs: mix needs at least one app")
+	}
+	return &Mix{inner: workload.RandomMT(rand.New(rand.NewSource(seed)), workload.SPECOMP(), n)}, nil
+}
+
+// CaseStudyMix returns the paper's §II-B mix (6×omnet, 14×milc, 2×ilbdc)
+// for a 36-core system.
+func CaseStudyMix() *Mix { return &Mix{inner: workload.CaseStudy()} }
+
+// Benchmarks lists the single-threaded benchmark names.
+func Benchmarks() []string {
+	ps := workload.SPECCPU()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// MTBenchmarks lists the multithreaded benchmark names.
+func MTBenchmarks() []string {
+	ps := workload.SPECOMP()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Result is one scheme's outcome on a mix.
+type Result struct {
+	// Scheme is the display name.
+	Scheme string
+	// PerApp is each app's progress rate (IPC; min-thread IPC for MT apps).
+	PerApp []float64
+	// AggIPC is chip-wide IPC.
+	AggIPC float64
+	// OnChipPKI / OffChipPKI are mean latency cycles per kilo-instruction.
+	OnChipPKI, OffChipPKI float64
+	// TrafficPerInstr is NoC traffic in flit-hops per instruction.
+	TrafficPerInstr float64
+	// EnergyPJPerInstr is energy per instruction in picojoules.
+	EnergyPJPerInstr float64
+	// ThreadCores maps thread index to core tile index.
+	ThreadCores []int
+	// VCSizesMB lists virtual-cache allocations in MB (partitioned schemes).
+	VCSizesMB []float64
+}
+
+// Run evaluates one scheme on a mix. The seed drives random thread
+// placement (and nothing else).
+func (s *System) Run(scheme Scheme, mix *Mix, seed int64) (*Result, error) {
+	res, err := sim.RunMix(s.env, scheme.inner, mix.inner, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Scheme:           res.Scheme,
+		PerApp:           res.PerApp,
+		AggIPC:           res.Chip.AggIPC,
+		OnChipPKI:        res.OnChipPKI,
+		OffChipPKI:       res.OffChipPKI,
+		TrafficPerInstr:  res.Chip.TrafficPerInstr.Total(),
+		EnergyPJPerInstr: res.Chip.EnergyPerInstr.Total(),
+	}
+	for _, c := range res.Sched.ThreadCore {
+		out.ThreadCores = append(out.ThreadCores, int(c))
+	}
+	for _, sz := range res.Sched.VCSizes {
+		out.VCSizesMB = append(out.VCSizesMB, sz/workload.LinesPerMB)
+	}
+	return out, nil
+}
+
+// Comparison holds several schemes evaluated on one mix against the first
+// scheme as baseline.
+type Comparison struct {
+	// Baseline is the name of the baseline scheme.
+	Baseline string
+	// Results maps scheme name to its Result.
+	Results map[string]*Result
+	// WeightedSpeedup maps scheme name to its weighted speedup vs baseline.
+	WeightedSpeedup map[string]float64
+}
+
+// Compare evaluates schemes on one mix; the first scheme is the baseline
+// (conventionally SNUCA).
+func (s *System) Compare(mix *Mix, seed int64, schemes ...Scheme) (*Comparison, error) {
+	if len(schemes) == 0 {
+		return nil, fmt.Errorf("cdcs: Compare needs at least one scheme")
+	}
+	cmp := &Comparison{
+		Results:         map[string]*Result{},
+		WeightedSpeedup: map[string]float64{},
+	}
+	var base *Result
+	for i, sc := range schemes {
+		r, err := s.Run(sc, mix, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			base = r
+			cmp.Baseline = r.Scheme
+		}
+		cmp.Results[r.Scheme] = r
+		cmp.WeightedSpeedup[r.Scheme] = stats.WeightedSpeedup(r.PerApp, base.PerApp)
+	}
+	return cmp, nil
+}
+
+// Experiment regenerates one of the paper's tables or figures and returns
+// its formatted report. Quick mode trims mix counts for fast smoke runs;
+// full mode uses the paper's 50 mixes.
+func Experiment(id string, quick bool) (string, error) {
+	opts := exp.DefaultOptions()
+	if quick {
+		opts = exp.QuickOptions()
+	}
+	rep, err := exp.Run(id, opts)
+	if err != nil {
+		return "", err
+	}
+	return rep.String(), nil
+}
+
+// ExperimentIDs lists the available experiment ids.
+func ExperimentIDs() []string { return exp.IDs() }

@@ -1,0 +1,170 @@
+package cdcs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultSystem(t *testing.T) {
+	sys := DefaultSystem()
+	if sys.Cores() != 64 {
+		t.Errorf("Cores=%d, want 64", sys.Cores())
+	}
+	if sys.LLCBytes() != 32<<20 {
+		t.Errorf("LLC=%d bytes, want 32MB", sys.LLCBytes())
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(Config{MeshWidth: 0, MeshHeight: 8, BankKB: 512}); err == nil {
+		t.Error("invalid mesh accepted")
+	}
+	if _, err := NewSystem(Config{MeshWidth: 8, MeshHeight: 8, BankKB: 0}); err == nil {
+		t.Error("invalid bank accepted")
+	}
+	sys, err := NewSystem(Config{MeshWidth: 6, MeshHeight: 6, BankKB: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Cores() != 36 {
+		t.Errorf("Cores=%d, want 36", sys.Cores())
+	}
+}
+
+func TestMixConstruction(t *testing.T) {
+	m := NewMix()
+	if err := m.Add("omnet", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddMT("ilbdc", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add("nosuch", 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := m.AddMT("nosuch", 1); err == nil {
+		t.Error("unknown MT benchmark accepted")
+	}
+	if m.Apps() != 3 || m.Threads() != 10 {
+		t.Errorf("mix: %d apps, %d threads", m.Apps(), m.Threads())
+	}
+	names := m.AppNames()
+	if names[0] != "omnet#1" || names[2] != "ilbdc#1" {
+		t.Errorf("names=%v", names)
+	}
+}
+
+func TestBenchmarksLists(t *testing.T) {
+	if got := len(Benchmarks()); got != 16 {
+		t.Errorf("%d ST benchmarks, want 16", got)
+	}
+	if got := len(MTBenchmarks()); got != 8 {
+		t.Errorf("%d MT benchmarks, want 8", got)
+	}
+}
+
+func TestRandomMixErrors(t *testing.T) {
+	if _, err := RandomMix(1, 0); err == nil {
+		t.Error("empty mix accepted")
+	}
+	if _, err := RandomMTMix(1, 0); err == nil {
+		t.Error("empty MT mix accepted")
+	}
+}
+
+func TestRunAndCompare(t *testing.T) {
+	sys := DefaultSystem()
+	mix, err := RandomMix(7, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := sys.Compare(mix, 7, SNUCA, RNUCA, JigsawC, JigsawR, CDCS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Baseline != "S-NUCA" {
+		t.Errorf("baseline %q", cmp.Baseline)
+	}
+	if ws := cmp.WeightedSpeedup["S-NUCA"]; ws != 1 {
+		t.Errorf("baseline WS=%g", ws)
+	}
+	if cmp.WeightedSpeedup["CDCS"] <= cmp.WeightedSpeedup["Jigsaw+R"] {
+		t.Errorf("CDCS %.3f <= Jigsaw+R %.3f",
+			cmp.WeightedSpeedup["CDCS"], cmp.WeightedSpeedup["Jigsaw+R"])
+	}
+	res := cmp.Results["CDCS"]
+	if len(res.PerApp) != 64 || len(res.ThreadCores) != 64 {
+		t.Errorf("result shapes wrong: %d apps, %d threads", len(res.PerApp), len(res.ThreadCores))
+	}
+	if res.AggIPC <= 0 || res.EnergyPJPerInstr <= 0 {
+		t.Error("result metrics not populated")
+	}
+}
+
+func TestCompareNeedsSchemes(t *testing.T) {
+	sys := DefaultSystem()
+	mix, _ := RandomMix(1, 4)
+	if _, err := sys.Compare(mix, 1); err == nil {
+		t.Error("Compare with no schemes accepted")
+	}
+}
+
+func TestRunTooManyThreads(t *testing.T) {
+	sys, _ := NewSystem(Config{MeshWidth: 2, MeshHeight: 2, BankKB: 512})
+	mix, _ := RandomMix(1, 8)
+	if _, err := sys.Run(CDCS, mix, 1); err == nil {
+		t.Error("8 threads on 4 cores accepted")
+	}
+}
+
+func TestCDCSVariantLabels(t *testing.T) {
+	if name := CDCSVariant(true, false, false).Name(); name != "CDCS[L]" {
+		t.Errorf("variant name %q", name)
+	}
+	if name := CDCSVariant(true, true, true).Name(); name != "CDCS[LTD]" {
+		t.Errorf("variant name %q", name)
+	}
+}
+
+func TestCDCSVariantBehaves(t *testing.T) {
+	sys := DefaultSystem()
+	mix, _ := RandomMix(11, 64)
+	cmp, err := sys.Compare(mix, 11, SNUCA, CDCSVariant(false, false, false), CDCS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-off variant ~ Jigsaw+R; full CDCS at least as good.
+	if cmp.WeightedSpeedup["CDCS"] < cmp.WeightedSpeedup["CDCS[]"] {
+		t.Errorf("full CDCS %.3f below bare variant %.3f",
+			cmp.WeightedSpeedup["CDCS"], cmp.WeightedSpeedup["CDCS[]"])
+	}
+}
+
+func TestExperimentAPI(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 15 {
+		t.Fatalf("only %d experiments", len(ids))
+	}
+	out, err := Experiment("fig2", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "omnet") {
+		t.Errorf("fig2 output missing curves:\n%s", out)
+	}
+	if _, err := Experiment("nope", true); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestCaseStudyMixOn36Cores(t *testing.T) {
+	sys, _ := NewSystem(Config{MeshWidth: 6, MeshHeight: 6, BankKB: 512})
+	mix := CaseStudyMix()
+	cmp, err := sys.Compare(mix, 3, SNUCA, CDCS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws := cmp.WeightedSpeedup["CDCS"]; ws < 1.2 {
+		t.Errorf("case-study CDCS WS %.3f, want >1.2", ws)
+	}
+}

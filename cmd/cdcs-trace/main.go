@@ -1,0 +1,94 @@
+// Command cdcs-trace exports plot-ready CSV data: the Fig. 17 IPC trace
+// around a reconfiguration, the Fig. 2 miss curves, or a Fig. 5 latency
+// decomposition.
+//
+//	cdcs-trace -what reconfig > fig17.csv
+//	cdcs-trace -what misscurves > fig2.csv
+//	cdcs-trace -what latency -bench omnet > fig5.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cdcs/internal/alloc"
+	"cdcs/internal/policy"
+	"cdcs/internal/sim"
+	"cdcs/internal/workload"
+)
+
+func main() {
+	var (
+		what   = flag.String("what", "reconfig", "reconfig | misscurves | latency")
+		bench  = flag.String("bench", "omnet", "benchmark for -what latency")
+		window = flag.Float64("window", 2e6, "trace window in cycles (reconfig)")
+		bucket = flag.Float64("bucket", 1e4, "sample interval in cycles (reconfig)")
+	)
+	flag.Parse()
+
+	switch *what {
+	case "reconfig":
+		emitReconfig(*window, *bucket)
+	case "misscurves":
+		emitMissCurves()
+	case "latency":
+		emitLatency(*bench)
+	default:
+		fmt.Fprintf(os.Stderr, "cdcs-trace: unknown -what %q\n", *what)
+		os.Exit(2)
+	}
+}
+
+// emitReconfig writes the Fig. 17 aggregate-IPC traces for all three data
+// movement schemes.
+func emitReconfig(window, bucket float64) {
+	p := sim.DefaultReconfigParams()
+	const at = 2e5
+	schemes := []sim.MoveScheme{sim.InstantMoves, sim.BackgroundInvs, sim.BulkInvs}
+	traces := make([][]sim.IPCPoint, len(schemes))
+	for i, s := range schemes {
+		traces[i] = sim.SimulateReconfig(p, s, window, at, bucket)
+	}
+	fmt.Println("cycle,instant_moves,background_invs,bulk_invs")
+	for j := range traces[0] {
+		fmt.Printf("%.0f,%.3f,%.3f,%.3f\n",
+			traces[0][j].Cycle, traces[0][j].AggIPC, traces[1][j].AggIPC, traces[2][j].AggIPC)
+	}
+}
+
+// emitMissCurves writes every profile's MPKI curve (Fig. 2 and beyond).
+func emitMissCurves() {
+	profiles := workload.SPECCPU()
+	fmt.Print("mb")
+	for _, p := range profiles {
+		fmt.Printf(",%s", p.Name)
+	}
+	fmt.Println()
+	for mb := 0.125; mb <= 32; mb *= 2 {
+		fmt.Printf("%.3f", mb)
+		for _, p := range profiles {
+			fmt.Printf(",%.2f", p.MPKI(mb*workload.LinesPerMB))
+		}
+		fmt.Println()
+	}
+}
+
+// emitLatency writes the Fig. 5 off-chip/on-chip/total decomposition for one
+// benchmark on the 64-tile chip.
+func emitLatency(bench string) {
+	p := workload.ByName(workload.SPECCPU(), bench)
+	if p == nil {
+		fmt.Fprintf(os.Stderr, "cdcs-trace: unknown benchmark %q\n", bench)
+		os.Exit(2)
+	}
+	env := policy.DefaultEnv()
+	dist := alloc.CompactDistance(env.Chip.Topo, env.Chip.BankLines)
+	fmt.Println("mb,offchip,onchip,total")
+	for mb := 0.25; mb <= 32; mb += 0.25 {
+		lines := mb * workload.LinesPerMB
+		off := p.APKI * p.MissRatio.Eval(lines) * env.Model.MemLatency
+		on := p.APKI * dist.Eval(lines) * env.Model.HopLatency * env.Model.RoundTrip
+		fmt.Printf("%.2f,%.2f,%.2f,%.2f\n", mb, off, on, off+on)
+	}
+}

@@ -1,0 +1,73 @@
+// Command cdcs regenerates the paper's tables and figures from the command
+// line:
+//
+//	cdcs -list                 # list experiment ids
+//	cdcs -exp fig11            # run one experiment at paper scale (50 mixes)
+//	cdcs -exp fig11 -quick     # scaled-down smoke run
+//	cdcs -all -quick           # run everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cdcs/internal/exp"
+)
+
+func main() {
+	var (
+		id    = flag.String("exp", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment ids")
+		quick = flag.Bool("quick", false, "reduced mix counts for fast runs")
+		mixes = flag.Int("mixes", 0, "override the number of mixes per point")
+		seed  = flag.Int64("seed", 1, "base random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.IDs() {
+			fmt.Println(e)
+		}
+		return
+	}
+
+	opts := exp.DefaultOptions()
+	if *quick {
+		opts = exp.QuickOptions()
+	}
+	if *mixes > 0 {
+		opts.Mixes = *mixes
+	}
+	opts.Seed = *seed
+
+	run := func(e string) error {
+		rep, err := exp.Run(e, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.String())
+		fmt.Println()
+		return nil
+	}
+
+	switch {
+	case *all:
+		for _, e := range exp.IDs() {
+			if err := run(e); err != nil {
+				fmt.Fprintf(os.Stderr, "cdcs: %s: %v\n", e, err)
+				os.Exit(1)
+			}
+		}
+	case *id != "":
+		if err := run(*id); err != nil {
+			fmt.Fprintf(os.Stderr, "cdcs: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "cdcs: use -exp <id>, -all or -list")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,83 @@
+// Case study (§II-B of the paper): a 36-tile CMP running 6×omnet, 14×milc
+// and 2×8-thread ilbdc. Reproduces Table 1's per-app speedups and shows how
+// CDCS places the threads (Fig. 1d): omnet instances spread apart to avoid
+// capacity contention, ilbdc threads clustered around their shared data.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"cdcs"
+)
+
+func main() {
+	sys, err := cdcs.NewSystem(cdcs.Config{
+		MeshWidth: 6, MeshHeight: 6, BankKB: 512,
+		BankLatency: 9, HopLatency: 4, MemLatency: 120, MemChannels: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mix := cdcs.CaseStudyMix()
+	fmt.Printf("case-study mix: %d apps, %d threads on %d cores\n\n",
+		mix.Apps(), mix.Threads(), sys.Cores())
+
+	cmp, err := sys.Compare(mix, 1,
+		cdcs.SNUCA, cdcs.RNUCA, cdcs.JigsawC, cdcs.JigsawR, cdcs.CDCS)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Table 1: per-app mean speedups and weighted speedup.
+	names := mix.AppNames()
+	base := cmp.Results["S-NUCA"]
+	fmt.Printf("%-10s %8s %8s %8s %8s\n", "scheme", "omnet", "ilbdc", "milc", "WS")
+	for _, s := range cdcs.Schemes() {
+		r := cmp.Results[s.Name()]
+		per := map[string][]float64{}
+		for i, n := range names {
+			bench := strings.SplitN(n, "#", 2)[0]
+			per[bench] = append(per[bench], r.PerApp[i]/base.PerApp[i])
+		}
+		fmt.Printf("%-10s %8.2f %8.2f %8.2f %8.2f\n", s.Name(),
+			mean(per["omnet"]), mean(per["ilbdc"]), mean(per["milc"]),
+			cmp.WeightedSpeedup[s.Name()])
+	}
+
+	// Fig. 1d: CDCS's thread map.
+	fmt.Println("\nCDCS thread placement (O=omnet, M=milc, I=ilbdc):")
+	label := make([]string, sys.Cores())
+	for i := range label {
+		label[i] = "."
+	}
+	cores := cmp.Results["CDCS"].ThreadCores
+	t := 0
+	for i, n := range names {
+		bench := strings.SplitN(n, "#", 2)[0]
+		threads := 1
+		if bench == "ilbdc" {
+			threads = 8
+		}
+		for k := 0; k < threads; k++ {
+			label[cores[t]] = strings.ToUpper(bench[:1])
+			t++
+		}
+		_ = i
+	}
+	for y := 0; y < 6; y++ {
+		fmt.Println("  " + strings.Join(label[y*6:(y+1)*6], " "))
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

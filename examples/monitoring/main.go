@@ -1,0 +1,99 @@
+// Monitoring and incremental reconfiguration, end to end on the hardware
+// models (§IV-G and §IV-H of the paper). This example goes below the public
+// API to demonstrate the internal hardware substrate directly:
+//
+//  1. a GMON watches a synthetic omnet-like access stream and reconstructs
+//     its miss curve (compare against the ground truth),
+//  2. a virtual cache is reconfigured from one bank to another on live
+//     cache arrays: demand moves keep every hot line a hit while the
+//     background walk retires the old copies without pausing anything.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cdcs/internal/cachesim"
+	"cdcs/internal/curves"
+	"cdcs/internal/monitor"
+	"cdcs/internal/sim"
+	"cdcs/internal/trace"
+	"cdcs/internal/vtb"
+	"cdcs/internal/workload"
+)
+
+func main() {
+	demoGMON()
+	demoDemandMoves()
+}
+
+func demoGMON() {
+	fmt.Println("=== GMON: geometric miss-curve monitoring (§IV-G) ===")
+	omnet := workload.ByName(workload.SPECCPU(), "omnet")
+	// Scale the 32MB domain down 8x so the demo runs instantly.
+	xs, ys := omnet.MissRatio.Xs(), omnet.MissRatio.Ys()
+	for i := range xs {
+		xs[i] /= 8
+	}
+	target := curves.New(xs, ys)
+
+	gmon := monitor.NewGMON(16, 64, 128, target.MaxX())
+	gen := trace.NewGenerator(target, 0, rand.New(rand.NewSource(1)))
+	for i := 0; i < 400000; i++ {
+		gmon.Access(gen.Next())
+	}
+	got := gmon.MissRatioCurve()
+	fmt.Printf("gamma=%.3f, %d ways, %dB of state, sampled %d of %d accesses\n",
+		gmon.Gamma(), gmon.Ways(), gmon.StateBytes(), gmon.Sampled(), gmon.Observed())
+	fmt.Printf("%10s %10s %10s\n", "lines", "true", "GMON")
+	for _, x := range []float64{512, 2048, 4096, 5120, 6144, 8192} {
+		fmt.Printf("%10.0f %10.3f %10.3f\n", x, target.Eval(x), got.Eval(x))
+	}
+	fmt.Println()
+}
+
+func demoDemandMoves() {
+	fmt.Println("=== Incremental reconfiguration: demand moves (§IV-H) ===")
+	llc := sim.NewMoveLLC(4, 256, 16, 1)
+
+	home0, _ := vtb.BuildDescriptor(64, map[int]float64{0: 1}, nil)
+	home2, _ := vtb.BuildDescriptor(64, map[int]float64{2: 1}, nil)
+
+	if err := llc.Install(0, home0, 4096); err != nil {
+		panic(err)
+	}
+	for i := 0; i < 2000; i++ {
+		llc.Access(0, cachesim.Addr(i))
+	}
+	fmt.Printf("warmed VC 0 in bank 0: %d misses (cold)\n", llc.Misses)
+
+	if err := llc.Install(0, home2, 4096); err != nil {
+		panic(err)
+	}
+	fmt.Println("reconfigured VC 0 to bank 2 (shadow descriptors active)")
+
+	missesBefore := llc.Misses
+	hot := 512 // re-access the hot half of the working set
+	for i := 0; i < hot; i++ {
+		llc.Access(0, cachesim.Addr(i))
+	}
+	fmt.Printf("re-accessed %d hot lines: %d demand moves, %d new memory misses\n",
+		hot, llc.DemandMoves, llc.Misses-missesBefore)
+
+	steps := 0
+	for llc.BackgroundStep() {
+		steps++
+	}
+	fmt.Printf("background walk finished in %d set-steps, invalidated %d stale lines\n",
+		steps, llc.BGInvals)
+	fmt.Printf("reconfiguration complete, shadows cleared: %v\n", !llc.Reconfiguring())
+
+	// Coherence invariant held throughout.
+	multi := 0
+	for i := 0; i < 2000; i++ {
+		if llc.Resident(cachesim.Addr(i)) > 1 {
+			multi++
+		}
+	}
+	fmt.Printf("lines resident in more than one bank: %d\n", multi)
+}

@@ -1,0 +1,37 @@
+// Quickstart: build the paper's 64-tile system, draw a random 64-app mix,
+// and compare all five NUCA schemes on it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cdcs"
+)
+
+func main() {
+	sys := cdcs.DefaultSystem()
+	fmt.Printf("system: %d cores, %d MB LLC\n\n", sys.Cores(), sys.LLCBytes()>>20)
+
+	mix, err := cdcs.RandomMix(42, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mix: %d apps, e.g. %v ...\n\n", mix.Apps(), mix.AppNames()[:4])
+
+	cmp, err := sys.Compare(mix, 42,
+		cdcs.SNUCA, cdcs.RNUCA, cdcs.JigsawC, cdcs.JigsawR, cdcs.CDCS)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %10s %12s %12s %10s\n",
+		"scheme", "WS", "onchip c/ki", "offchip c/ki", "pJ/instr")
+	for _, s := range cdcs.Schemes() {
+		r := cmp.Results[s.Name()]
+		fmt.Printf("%-10s %10.3f %12.1f %12.1f %10.0f\n",
+			s.Name(), cmp.WeightedSpeedup[s.Name()], r.OnChipPKI, r.OffChipPKI, r.EnergyPJPerInstr)
+	}
+	fmt.Printf("\nCDCS speeds this mix up %.0f%% over S-NUCA.\n",
+		(cmp.WeightedSpeedup["CDCS"]-1)*100)
+}

@@ -1,0 +1,252 @@
+// Package alloc implements capacity allocation for partitioned NUCA caches.
+//
+// It provides the Peekahead-style allocator (§IV-C): an exact greedy walk
+// over the convex lower hulls of per-VC cost curves. Fed miss curves scaled
+// by memory latency it reproduces Jigsaw's miss-minimizing allocation; fed
+// total-latency curves (off-chip + optimistic on-chip latency) it becomes
+// CDCS's latency-aware allocation, which deliberately leaves capacity unused
+// when extra capacity would cost more in network hops than it saves in
+// misses (Fig. 5's sweet spot).
+package alloc
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"cdcs/internal/curves"
+	"cdcs/internal/mesh"
+)
+
+// Peekahead allocates totalLines among the given cost curves, minimizing the
+// summed cost. Curves map capacity (lines) to cost (any consistent unit,
+// e.g. latency cycles per kilo-instruction). Allocation works on convex
+// hulls, so each greedy step is globally optimal for the continuous
+// relaxation — the same property the paper's Peekahead exploits.
+//
+// Allocation stops early when no curve offers a cost reduction (possible
+// with latency-aware curves); leftover capacity stays unallocated.
+func Peekahead(costs []curves.Curve, totalLines float64) []float64 {
+	hulls := make([]curves.Curve, len(costs))
+	for i, c := range costs {
+		hulls[i] = c.ConvexHull()
+	}
+	return peekaheadHulls(hulls, totalLines, true)
+}
+
+// PeekaheadFull allocates like Peekahead but never stops early: segments
+// with zero marginal utility are still taken, so all capacity is handed out
+// whenever the curves' domains allow. This models Jigsaw's miss-curve
+// allocation, which has no reason to leave capacity unused — and is exactly
+// why Jigsaw over-expands VCs when capacity is plentiful (§VI-A, Fig. 14).
+func PeekaheadFull(costs []curves.Curve, totalLines float64) []float64 {
+	hulls := make([]curves.Curve, len(costs))
+	for i, c := range costs {
+		hulls[i] = c.ConvexHull()
+	}
+	return peekaheadHulls(hulls, totalLines, false)
+}
+
+// segment is one candidate hull advance for a VC.
+type segment struct {
+	vc   int
+	dx   float64 // capacity the advance consumes
+	dy   float64 // cost change (negative is improvement)
+	rate float64 // dy/dx, the marginal utility (most negative first)
+	knot int     // hull knot index this segment ends at
+}
+
+// segHeap orders segments by steepest descent.
+type segHeap []segment
+
+func (h segHeap) Len() int      { return len(h) }
+func (h segHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h segHeap) Less(i, j int) bool {
+	if h[i].rate != h[j].rate {
+		return h[i].rate < h[j].rate
+	}
+	return h[i].vc < h[j].vc
+}
+func (h *segHeap) Push(x any) { *h = append(*h, x.(segment)) }
+func (h *segHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	*h = old[:n-1]
+	return s
+}
+
+func peekaheadHulls(hulls []curves.Curve, totalLines float64, stopAtZero bool) []float64 {
+	alloc := make([]float64, len(hulls))
+	remaining := totalLines
+
+	h := make(segHeap, 0, len(hulls))
+	next := func(vc, fromKnot int) (segment, bool) {
+		hull := hulls[vc]
+		if fromKnot+1 >= hull.Len() {
+			return segment{}, false
+		}
+		x0, y0 := hull.Knot(fromKnot)
+		x1, y1 := hull.Knot(fromKnot + 1)
+		return segment{
+			vc: vc, dx: x1 - x0, dy: y1 - y0,
+			rate: (y1 - y0) / (x1 - x0), knot: fromKnot + 1,
+		}, true
+	}
+	for vc := range hulls {
+		if s, ok := next(vc, 0); ok {
+			h = append(h, s)
+		}
+	}
+	heap.Init(&h)
+
+	for remaining > 1e-9 && h.Len() > 0 {
+		s := heap.Pop(&h).(segment)
+		if s.rate >= 0 && (stopAtZero || s.rate > 0) {
+			// No curve improves with more capacity: stop (latency-aware);
+			// in full mode only strictly harmful segments stop allocation.
+			break
+		}
+		if s.dx <= remaining {
+			alloc[s.vc] += s.dx
+			remaining -= s.dx
+			if nx, ok := next(s.vc, s.knot); ok {
+				heap.Push(&h, nx)
+			}
+		} else {
+			// Partial advance along a linear hull segment keeps the same
+			// marginal rate, so taking the remainder is still optimal.
+			alloc[s.vc] += remaining
+			remaining = 0
+		}
+	}
+	return alloc
+}
+
+// PeekaheadQuantized allocates like Peekahead but rounds each VC's
+// allocation to a multiple of chunkLines (whole-bank allocation in the
+// §VI-C bank-partitioned configuration uses chunk = bank size). Rounding is
+// largest-remainder so the total never exceeds totalLines.
+func PeekaheadQuantized(costs []curves.Curve, totalLines, chunkLines float64) []float64 {
+	if chunkLines <= 0 {
+		panic(fmt.Sprintf("alloc: invalid chunk %g", chunkLines))
+	}
+	raw := Peekahead(costs, totalLines)
+	n := len(raw)
+	out := make([]float64, n)
+	type frac struct {
+		vc int
+		f  float64
+	}
+	fracs := make([]frac, 0, n)
+	used := 0.0
+	for i, a := range raw {
+		whole := float64(int(a / chunkLines))
+		out[i] = whole * chunkLines
+		used += out[i]
+		fracs = append(fracs, frac{i, a - out[i]})
+	}
+	sort.Slice(fracs, func(i, j int) bool {
+		if fracs[i].f != fracs[j].f {
+			return fracs[i].f > fracs[j].f
+		}
+		return fracs[i].vc < fracs[j].vc
+	})
+	for _, fr := range fracs {
+		if used+chunkLines > totalLines+1e-9 {
+			break
+		}
+		if fr.f <= 1e-9 {
+			break
+		}
+		out[fr.vc] += chunkLines
+		used += chunkLines
+	}
+	return out
+}
+
+// CompactDistance returns the average network distance (hops) from a center
+// tile to data placed compactly around it, as a function of placed capacity
+// in lines: the optimistic on-chip distance the paper uses when sizing VCs
+// before placement (Fig. 6). The curve's knots fall at cumulative bank
+// capacities.
+func CompactDistance(topo *mesh.Topology, bankLines float64) curves.Curve {
+	center := topo.CenterTile()
+	order := topo.ByDistance(center)
+	xs := make([]float64, 0, len(order)+1)
+	ys := make([]float64, 0, len(order)+1)
+	xs = append(xs, 0)
+	ys = append(ys, 0)
+	cum := 0.0     // lines placed
+	distSum := 0.0 // sum of distance×lines
+	for _, b := range order {
+		d := float64(topo.Distance(center, b))
+		cum += bankLines
+		distSum += d * bankLines
+		xs = append(xs, cum)
+		ys = append(ys, distSum/cum)
+	}
+	return curves.New(xs, ys)
+}
+
+// LatencyModel holds the constants that turn miss curves into latency curves.
+type LatencyModel struct {
+	// MemLatency is the effective memory access latency in cycles.
+	MemLatency float64
+	// HopLatency is the per-hop one-way network latency in cycles.
+	HopLatency float64
+	// RoundTrip multiplies hop counts to account for request+response
+	// traversal (2 for symmetric paths).
+	RoundTrip float64
+}
+
+// TotalLatencyCurve builds a VC's total memory-latency curve (cost per
+// kilo-instruction): Eq. 1 off-chip latency plus Eq. 2 on-chip latency under
+// the optimistic compact placement given by dist. apki is the VC's total
+// access intensity; ratio its miss-ratio curve.
+//
+// All LLC accesses pay the on-chip distance to the VC's banks; misses
+// additionally pay memory latency. Growing a VC therefore trades misses
+// against hops, producing the U-shaped curve of Fig. 5.
+func TotalLatencyCurve(ratio curves.Curve, apki float64, dist curves.Curve, m LatencyModel, maxLines float64) curves.Curve {
+	xs := knotUnion(ratio, dist, maxLines)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		miss := ratio.Eval(x)
+		onChip := apki * dist.Eval(x) * m.HopLatency * m.RoundTrip
+		offChip := apki * miss * m.MemLatency
+		ys[i] = onChip + offChip
+	}
+	return curves.New(xs, ys)
+}
+
+// MissLatencyCurve builds the miss-cost-only curve Jigsaw allocates from
+// (off-chip latency alone, no on-chip term).
+func MissLatencyCurve(ratio curves.Curve, apki float64, m LatencyModel, maxLines float64) curves.Curve {
+	xs := knotUnion(ratio, curves.Constant(0, maxLines), maxLines)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = apki * ratio.Eval(x) * m.MemLatency
+	}
+	return curves.New(xs, ys)
+}
+
+// knotUnion merges the knot sets of two curves, clipped to [0, maxLines],
+// always including both endpoints.
+func knotUnion(a, b curves.Curve, maxLines float64) []float64 {
+	seen := map[float64]bool{0: true, maxLines: true}
+	xs := []float64{0, maxLines}
+	add := func(c curves.Curve) {
+		for i := 0; i < c.Len(); i++ {
+			x, _ := c.Knot(i)
+			if x > 0 && x < maxLines && !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	add(a)
+	add(b)
+	sort.Float64s(xs)
+	return xs
+}

@@ -1,0 +1,39 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkBankAccess measures the partitioned bank's per-access cost.
+func BenchmarkBankAccess(b *testing.B) {
+	bank := NewBank(512, 16)
+	bank.SetTarget(1, 4096)
+	bank.SetTarget(2, 4096)
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]Addr, 1<<16)
+	parts := make([]PartID, 1<<16)
+	for i := range addrs {
+		addrs[i] = Addr(rng.Intn(16384))
+		parts[i] = PartID(1 + rng.Intn(2))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i & (1<<16 - 1)
+		bank.Access(addrs[k], parts[k])
+	}
+}
+
+// BenchmarkLRUStackAccess measures the exact stack-distance simulator.
+func BenchmarkLRUStackAccess(b *testing.B) {
+	s := NewLRUStack(8192)
+	rng := rand.New(rand.NewSource(2))
+	addrs := make([]Addr, 1<<14)
+	for i := range addrs {
+		addrs[i] = Addr(rng.Intn(4096))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Access(addrs[i&(1<<14-1)])
+	}
+}

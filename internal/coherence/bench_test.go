@@ -1,0 +1,34 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+
+	"cdcs/internal/cachesim"
+)
+
+// BenchmarkProtocolMixedOps measures the directory protocol under a mixed
+// read/write workload with sharing.
+func BenchmarkProtocolMixedOps(b *testing.B) {
+	s := NewSystem(8, 64, func(a cachesim.Addr) int { return int(a) % 8 })
+	rng := rand.New(rand.NewSource(1))
+	ops := make([]struct {
+		core  int
+		addr  cachesim.Addr
+		write bool
+	}, 1<<14)
+	for i := range ops {
+		ops[i].core = rng.Intn(8)
+		ops[i].addr = cachesim.Addr(rng.Intn(256))
+		ops[i].write = rng.Intn(4) == 0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := ops[i&(1<<14-1)]
+		if op.write {
+			s.Write(op.core, op.addr)
+		} else {
+			s.Read(op.core, op.addr)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Package coherence models the MESI directory protocol of the modeled CMP
+// (Table 2: "MESI, in-cache directory, no silent drops"). Private L2 caches
+// hold lines in Modified/Exclusive/Shared state; the LLC keeps an in-cache
+// directory tracking sharers and owners. The package exists for two reasons:
+// the shared-baseline NUCA design means LLC data itself needs no coherence
+// (only the L2 directory state), and §IV-H's demand moves must carry that
+// directory state intact when a line's home bank changes — MoveHome models
+// exactly that handoff, and the tests verify the single-writer/
+// multiple-reader invariant survives arbitrary interleavings of accesses and
+// reconfigurations.
+//
+// Data values are modeled as version counters, so the tests can check not
+// just state-machine invariants but actual read-your-writes consistency.
+package coherence
+
+import (
+	"fmt"
+
+	"cdcs/internal/cachesim"
+)
+
+// State is a MESI private-cache state.
+type State uint8
+
+const (
+	// Invalid: not present.
+	Invalid State = iota
+	// Shared: clean, possibly multiple readers.
+	Shared
+	// Exclusive: clean, sole owner (silent upgrade to Modified allowed).
+	Exclusive
+	// Modified: dirty, sole owner.
+	Modified
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Event classifies the protocol action a request triggered.
+type Event int
+
+const (
+	// Hit: request satisfied in the local L2.
+	Hit Event = iota
+	// MissMemory: line fetched from memory.
+	MissMemory
+	// MissForward: line forwarded from another core's L2.
+	MissForward
+	// MissUpgrade: write hit a Shared copy and invalidated peers.
+	MissUpgrade
+)
+
+// String names the event.
+func (e Event) String() string {
+	switch e {
+	case Hit:
+		return "hit"
+	case MissMemory:
+		return "miss-memory"
+	case MissForward:
+		return "miss-forward"
+	case MissUpgrade:
+		return "miss-upgrade"
+	}
+	return fmt.Sprintf("Event(%d)", int(e))
+}
+
+// privLine is one L2-resident line.
+type privLine struct {
+	state   State
+	version uint64
+	lru     uint64
+}
+
+// dirEntry is the in-LLC directory state for one line.
+type dirEntry struct {
+	// sharers[core] true means that core may hold the line.
+	sharers map[int]bool
+	// owner is the core holding E/M, or -1.
+	owner int
+	// dirty marks an M owner.
+	dirty bool
+	// home is the LLC bank currently responsible for the line's directory.
+	home int
+	// version is the last version written back to the LLC/memory.
+	version uint64
+}
+
+// Stats counts protocol events.
+type Stats struct {
+	Hits          int64
+	MissesMemory  int64
+	MissesForward int64
+	Upgrades      int64
+	Invalidations int64
+	Writebacks    int64
+	HomeMoves     int64
+}
+
+// System is a directory-coherent multicore: per-core L2s plus an LLC
+// directory whose per-line home bank can change (reconfigurations).
+type System struct {
+	cores   int
+	l2Lines int
+	home    func(cachesim.Addr) int
+
+	priv  []map[cachesim.Addr]*privLine
+	dir   map[cachesim.Addr]*dirEntry
+	mem   map[cachesim.Addr]uint64
+	clock uint64
+
+	// Stats is exported protocol accounting.
+	Stats Stats
+}
+
+// NewSystem builds a coherent system with the given core count, per-core L2
+// capacity in lines, and home function (line address → LLC bank).
+func NewSystem(cores, l2Lines int, home func(cachesim.Addr) int) *System {
+	if cores <= 0 || l2Lines <= 0 {
+		panic(fmt.Sprintf("coherence: invalid system %d cores, %d lines", cores, l2Lines))
+	}
+	s := &System{
+		cores:   cores,
+		l2Lines: l2Lines,
+		home:    home,
+		priv:    make([]map[cachesim.Addr]*privLine, cores),
+		dir:     map[cachesim.Addr]*dirEntry{},
+		mem:     map[cachesim.Addr]uint64{},
+	}
+	for i := range s.priv {
+		s.priv[i] = map[cachesim.Addr]*privLine{}
+	}
+	return s
+}
+
+// entry returns (creating if needed) the directory entry for addr.
+func (s *System) entry(addr cachesim.Addr) *dirEntry {
+	e, ok := s.dir[addr]
+	if !ok {
+		e = &dirEntry{sharers: map[int]bool{}, owner: -1, home: s.home(addr), version: s.mem[addr]}
+		s.dir[addr] = e
+	}
+	return e
+}
+
+// Read performs a load by core, returning the observed version and the
+// protocol event.
+func (s *System) Read(core int, addr cachesim.Addr) (uint64, Event) {
+	s.clock++
+	if l, ok := s.priv[core][addr]; ok && l.state != Invalid {
+		l.lru = s.clock
+		s.Stats.Hits++
+		return l.version, Hit
+	}
+	e := s.entry(addr)
+	var version uint64
+	var ev Event
+	if e.owner >= 0 {
+		// Forward from the owner; owner downgrades to Shared, writing back
+		// if dirty ("no silent drops").
+		owner := s.priv[e.owner][addr]
+		version = owner.version
+		if e.dirty {
+			e.version = owner.version
+			s.mem[addr] = owner.version
+			s.Stats.Writebacks++
+		}
+		owner.state = Shared
+		e.dirty = false
+		e.owner = -1
+		s.Stats.MissesForward++
+		ev = MissForward
+	} else if len(e.sharers) > 0 {
+		version = e.version
+		s.Stats.MissesForward++
+		ev = MissForward
+	} else {
+		version = s.mem[addr]
+		e.version = version
+		s.Stats.MissesMemory++
+		ev = MissMemory
+	}
+	state := Shared
+	if len(e.sharers) == 0 {
+		// Sole reader: Exclusive (MESI's E optimization).
+		state = Exclusive
+		e.owner = core
+	}
+	s.install(core, addr, state, version)
+	e.sharers[core] = true
+	return version, ev
+}
+
+// Write performs a store by core, returning the new version and the event.
+func (s *System) Write(core int, addr cachesim.Addr) (uint64, Event) {
+	s.clock++
+	e := s.entry(addr)
+	if l, ok := s.priv[core][addr]; ok && l.state != Invalid {
+		switch l.state {
+		case Modified:
+			l.version++
+			l.lru = s.clock
+			s.Stats.Hits++
+			return l.version, Hit
+		case Exclusive:
+			// Silent upgrade.
+			l.state = Modified
+			l.version++
+			l.lru = s.clock
+			e.dirty = true
+			s.Stats.Hits++
+			return l.version, Hit
+		case Shared:
+			// Upgrade: invalidate other sharers.
+			s.invalidateOthers(e, addr, core)
+			l.state = Modified
+			l.version = s.latestVersion(e, addr) + 1
+			l.lru = s.clock
+			e.owner = core
+			e.dirty = true
+			e.sharers = map[int]bool{core: true}
+			s.Stats.Upgrades++
+			return l.version, MissUpgrade
+		}
+	}
+	// Write miss: fetch with intent to modify (GETX).
+	base := s.latestVersion(e, addr)
+	if e.owner >= 0 && e.owner != core {
+		if e.dirty {
+			s.Stats.Writebacks++
+		}
+		s.Stats.MissesForward++
+	} else {
+		s.Stats.MissesMemory++
+	}
+	s.invalidateOthers(e, addr, core)
+	version := base + 1
+	s.install(core, addr, Modified, version)
+	e.owner = core
+	e.dirty = true
+	e.sharers = map[int]bool{core: true}
+	return version, MissMemory
+}
+
+// latestVersion returns the freshest version visible anywhere.
+func (s *System) latestVersion(e *dirEntry, addr cachesim.Addr) uint64 {
+	v := s.mem[addr]
+	if e.version > v {
+		v = e.version
+	}
+	if e.owner >= 0 {
+		if l, ok := s.priv[e.owner][addr]; ok && l.version > v {
+			v = l.version
+		}
+	}
+	return v
+}
+
+// invalidateOthers drops every copy except requester's.
+func (s *System) invalidateOthers(e *dirEntry, addr cachesim.Addr, requester int) {
+	for c := range e.sharers {
+		if c == requester {
+			continue
+		}
+		if l, ok := s.priv[c][addr]; ok {
+			if l.state == Modified {
+				s.mem[addr] = l.version
+				e.version = l.version
+				s.Stats.Writebacks++
+			}
+			delete(s.priv[c], addr)
+			s.Stats.Invalidations++
+		}
+		delete(e.sharers, c)
+	}
+	if e.owner != requester {
+		e.owner = -1
+		e.dirty = false
+	}
+}
+
+// install places a line in a core's L2, evicting LRU past capacity.
+func (s *System) install(core int, addr cachesim.Addr, st State, version uint64) {
+	s.priv[core][addr] = &privLine{state: st, version: version, lru: s.clock}
+	if len(s.priv[core]) <= s.l2Lines {
+		return
+	}
+	// Evict the LRU line (never the one just installed).
+	var victim cachesim.Addr
+	var oldest uint64 = ^uint64(0)
+	for a, l := range s.priv[core] {
+		if a != addr && l.lru < oldest {
+			oldest = l.lru
+			victim = a
+		}
+	}
+	s.EvictL2(core, victim)
+}
+
+// EvictL2 removes a line from a core's L2 with writeback (no silent drops:
+// the directory is always notified).
+func (s *System) EvictL2(core int, addr cachesim.Addr) {
+	l, ok := s.priv[core][addr]
+	if !ok {
+		return
+	}
+	e := s.entry(addr)
+	if l.state == Modified {
+		s.mem[addr] = l.version
+		e.version = l.version
+		s.Stats.Writebacks++
+	}
+	delete(s.priv[core], addr)
+	delete(e.sharers, core)
+	if e.owner == core {
+		e.owner = -1
+		e.dirty = false
+	}
+}
+
+// MoveHome migrates a line's directory state to a new LLC bank — the §IV-H
+// demand move: "B hit, MOVE response with data and coherence, B invalidates
+// own copy". Directory contents (sharers, owner, dirtiness, version) travel
+// atomically with the line; nothing about the private caches changes.
+func (s *System) MoveHome(addr cachesim.Addr, newBank int) {
+	e := s.entry(addr)
+	if e.home != newBank {
+		e.home = newBank
+		s.Stats.HomeMoves++
+	}
+}
+
+// Home returns the line's current directory bank.
+func (s *System) Home(addr cachesim.Addr) int {
+	return s.entry(addr).home
+}
+
+// CheckInvariants verifies the protocol's safety properties and returns the
+// first violation: single-writer/multiple-reader, directory/sharer
+// agreement, and owner-state consistency.
+func (s *System) CheckInvariants() error {
+	for addr, e := range s.dir {
+		owners := 0
+		for c := 0; c < s.cores; c++ {
+			l, ok := s.priv[c][addr]
+			if !ok {
+				if e.sharers[c] {
+					return fmt.Errorf("coherence: dir lists core %d for %d but line absent", c, addr)
+				}
+				continue
+			}
+			if !e.sharers[c] {
+				return fmt.Errorf("coherence: core %d holds %d (%v) unknown to dir", c, addr, l.state)
+			}
+			switch l.state {
+			case Modified, Exclusive:
+				owners++
+				if e.owner != c {
+					return fmt.Errorf("coherence: core %d holds %d in %v but dir owner is %d", c, addr, l.state, e.owner)
+				}
+				if len(e.sharers) != 1 {
+					return fmt.Errorf("coherence: %d owned in %v with %d sharers", addr, l.state, len(e.sharers))
+				}
+			}
+		}
+		if owners > 1 {
+			return fmt.Errorf("coherence: %d has %d owners", addr, owners)
+		}
+		if e.dirty && owners == 0 {
+			return fmt.Errorf("coherence: %d dirty without owner", addr)
+		}
+	}
+	return nil
+}
+
+// L2State returns a core's state for a line (Invalid if absent).
+func (s *System) L2State(core int, addr cachesim.Addr) State {
+	if l, ok := s.priv[core][addr]; ok {
+		return l.state
+	}
+	return Invalid
+}

@@ -1,0 +1,248 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+
+	"cdcs/internal/cachesim"
+)
+
+func newSys(cores int) *System {
+	return NewSystem(cores, 64, func(a cachesim.Addr) int { return int(a) % 4 })
+}
+
+func TestStateAndEventStrings(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Exclusive.String() != "E" || Modified.String() != "M" {
+		t.Error("state strings wrong")
+	}
+	if Hit.String() != "hit" || MissMemory.String() != "miss-memory" {
+		t.Error("event strings wrong")
+	}
+}
+
+func TestFirstReadIsExclusive(t *testing.T) {
+	s := newSys(4)
+	_, ev := s.Read(0, 100)
+	if ev != MissMemory {
+		t.Errorf("first read event %v", ev)
+	}
+	if st := s.L2State(0, 100); st != Exclusive {
+		t.Errorf("first reader state %v, want E", st)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecondReaderDowngradesToShared(t *testing.T) {
+	s := newSys(4)
+	s.Read(0, 100)
+	_, ev := s.Read(1, 100)
+	if ev != MissForward {
+		t.Errorf("second read event %v, want forward", ev)
+	}
+	if s.L2State(0, 100) != Shared || s.L2State(1, 100) != Shared {
+		t.Errorf("states after share: %v / %v", s.L2State(0, 100), s.L2State(1, 100))
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSilentEUpgrade(t *testing.T) {
+	s := newSys(4)
+	s.Read(0, 100) // E
+	_, ev := s.Write(0, 100)
+	if ev != Hit {
+		t.Errorf("E->M upgrade event %v, want hit (silent)", ev)
+	}
+	if s.L2State(0, 100) != Modified {
+		t.Error("not Modified after silent upgrade")
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	s := newSys(4)
+	s.Read(0, 100)
+	s.Read(1, 100)
+	s.Read(2, 100)
+	_, ev := s.Write(1, 100)
+	if ev != MissUpgrade {
+		t.Errorf("upgrade event %v", ev)
+	}
+	if s.L2State(0, 100) != Invalid || s.L2State(2, 100) != Invalid {
+		t.Error("other sharers not invalidated")
+	}
+	if s.L2State(1, 100) != Modified {
+		t.Error("writer not Modified")
+	}
+	if s.Stats.Invalidations != 2 {
+		t.Errorf("invalidations=%d, want 2", s.Stats.Invalidations)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadYourWrites(t *testing.T) {
+	s := newSys(4)
+	v1, _ := s.Write(0, 50)
+	v2, _ := s.Read(0, 50)
+	if v1 != v2 {
+		t.Errorf("read %d after write %d", v2, v1)
+	}
+}
+
+func TestReadersSeeLatestWrite(t *testing.T) {
+	s := newSys(4)
+	s.Write(0, 50)
+	s.Write(0, 50)
+	vw, _ := s.Write(0, 50)
+	vr, ev := s.Read(3, 50)
+	if vr != vw {
+		t.Errorf("reader saw version %d, writer wrote %d", vr, vw)
+	}
+	if ev != MissForward {
+		t.Errorf("dirty read event %v, want forward", ev)
+	}
+	// The forward wrote the line back.
+	if s.Stats.Writebacks == 0 {
+		t.Error("no writeback on dirty forward")
+	}
+}
+
+func TestWriteAfterRemoteWrite(t *testing.T) {
+	s := newSys(4)
+	v0, _ := s.Write(0, 50)
+	v1, _ := s.Write(1, 50)
+	if v1 != v0+1 {
+		t.Errorf("second writer version %d, want %d", v1, v0+1)
+	}
+	if s.L2State(0, 50) != Invalid {
+		t.Error("first writer not invalidated")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictionWritesBack(t *testing.T) {
+	s := newSys(2)
+	v, _ := s.Write(0, 7)
+	s.EvictL2(0, 7)
+	if s.L2State(0, 7) != Invalid {
+		t.Error("line still present after evict")
+	}
+	// A later read from memory sees the written version.
+	vr, ev := s.Read(1, 7)
+	if vr != v {
+		t.Errorf("post-eviction read %d, want %d", vr, v)
+	}
+	if ev != MissMemory {
+		t.Errorf("post-eviction read event %v", ev)
+	}
+}
+
+func TestCapacityEvictionKeepsInvariants(t *testing.T) {
+	s := NewSystem(2, 8, func(a cachesim.Addr) int { return 0 })
+	for i := 0; i < 100; i++ {
+		s.Write(0, cachesim.Addr(i))
+	}
+	if len(s.priv[0]) > 8 {
+		t.Errorf("L2 holds %d lines, capacity 8", len(s.priv[0]))
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// All evicted versions visible to another core.
+	for i := 0; i < 100; i++ {
+		if v, _ := s.Read(1, cachesim.Addr(i)); v != 1 {
+			t.Fatalf("line %d version %d, want 1", i, v)
+		}
+	}
+}
+
+func TestMoveHomePreservesCoherence(t *testing.T) {
+	s := newSys(4)
+	s.Write(0, 100) // M at core 0
+	s.Read(1, 200)  // E at core 1
+	s.Read(2, 300)  // shared later
+	s.Read(3, 300)
+
+	for _, addr := range []cachesim.Addr{100, 200, 300} {
+		oldHome := s.Home(addr)
+		s.MoveHome(addr, (oldHome+2)%4)
+		if s.Home(addr) == oldHome {
+			t.Errorf("home of %d did not move", addr)
+		}
+	}
+	if s.Stats.HomeMoves != 3 {
+		t.Errorf("HomeMoves=%d, want 3", s.Stats.HomeMoves)
+	}
+	// Private-cache state untouched by the move (§IV-H: only the LLC home
+	// changes; coherence state travels with it).
+	if s.L2State(0, 100) != Modified {
+		t.Error("M state lost across home move")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Consistency across the move: core 3 reads core 0's write.
+	v, _ := s.Read(3, 100)
+	if v != 1 {
+		t.Errorf("post-move read version %d, want 1", v)
+	}
+}
+
+// TestRandomizedSWMR hammers the protocol with random reads, writes,
+// evictions and home moves, checking invariants and version consistency
+// throughout — the protocol's property test.
+func TestRandomizedSWMR(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := NewSystem(8, 16, func(a cachesim.Addr) int { return int(a) % 8 })
+	lastWrite := map[cachesim.Addr]uint64{}
+	const addrs = 40
+	for op := 0; op < 20000; op++ {
+		core := rng.Intn(8)
+		addr := cachesim.Addr(rng.Intn(addrs))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // read
+			v, _ := s.Read(core, addr)
+			if v != lastWrite[addr] {
+				t.Fatalf("op %d: read %d saw version %d, want %d", op, addr, v, lastWrite[addr])
+			}
+		case 5, 6, 7: // write
+			v, _ := s.Write(core, addr)
+			if v != lastWrite[addr]+1 {
+				t.Fatalf("op %d: write %d got version %d, want %d", op, addr, v, lastWrite[addr]+1)
+			}
+			lastWrite[addr] = v
+		case 8: // eviction
+			s.EvictL2(core, addr)
+		case 9: // reconfiguration move
+			s.MoveHome(addr, rng.Intn(8))
+		}
+		if op%500 == 0 {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: all event classes occurred.
+	if s.Stats.Hits == 0 || s.Stats.MissesMemory == 0 || s.Stats.MissesForward == 0 ||
+		s.Stats.Invalidations == 0 || s.Stats.Writebacks == 0 || s.Stats.HomeMoves == 0 {
+		t.Errorf("event coverage incomplete: %+v", s.Stats)
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid system accepted")
+		}
+	}()
+	NewSystem(0, 8, func(cachesim.Addr) int { return 0 })
+}

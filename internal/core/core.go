@@ -1,0 +1,186 @@
+// Package core implements the paper's primary contribution: the CDCS
+// reconfiguration runtime (§IV, Fig. 4). Every reconfiguration period the
+// OS-level runtime reads per-VC miss curves and runs four steps:
+//
+//  1. latency-aware capacity allocation (Peekahead over total-latency curves),
+//  2. optimistic contention-aware VC placement,
+//  3. thread placement at the access-weighted centers of mass,
+//  4. refined VC placement (greedy + bounded-spiral trades).
+//
+// Each step can be disabled independently, which yields the paper's factor
+// analysis (+L, +T, +D in Fig. 12) and the Jigsaw baseline (all off: miss-
+// curve allocation, fixed threads, greedy placement only).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cdcs/internal/alloc"
+	"cdcs/internal/curves"
+	"cdcs/internal/mesh"
+	"cdcs/internal/place"
+	"cdcs/internal/workload"
+)
+
+// Features selects which CDCS techniques run (Fig. 12's factor analysis).
+type Features struct {
+	// LatencyAware allocates from total-latency curves (+L); off allocates
+	// from miss curves only and always uses all capacity, like Jigsaw.
+	LatencyAware bool
+	// ThreadPlace runs CDCS thread placement (+T); off keeps the caller's
+	// fixed thread placement (clustered or random schedulers).
+	ThreadPlace bool
+	// RefinedTrades runs the trade pass after greedy placement (+D).
+	RefinedTrades bool
+}
+
+// AllCDCS enables every CDCS technique (+LTD).
+func AllCDCS() Features {
+	return Features{LatencyAware: true, ThreadPlace: true, RefinedTrades: true}
+}
+
+// Config parameterizes the runtime.
+type Config struct {
+	// Chip is the placement substrate.
+	Chip place.Chip
+	// Model holds the latency constants used to build cost curves.
+	Model alloc.LatencyModel
+	// ChunkLines is the allocation/placement granularity (64KB=1024 lines in
+	// the paper). Zero selects bankLines/8.
+	ChunkLines float64
+	// BankGranular forces whole-bank allocations (§VI-C's coarse variant).
+	BankGranular bool
+	// Feats selects the enabled techniques.
+	Feats Features
+}
+
+// chunk returns the effective allocation granularity.
+func (c Config) chunk() float64 {
+	if c.BankGranular {
+		return c.Chip.BankLines
+	}
+	if c.ChunkLines > 0 {
+		return c.ChunkLines
+	}
+	return c.Chip.BankLines / 8
+}
+
+// Timing records wall time per reconfiguration step (Table 3).
+type Timing struct {
+	Alloc       time.Duration
+	VCPlace     time.Duration
+	ThreadPlace time.Duration
+	DataPlace   time.Duration
+}
+
+// Total sums all steps.
+func (t Timing) Total() time.Duration {
+	return t.Alloc + t.VCPlace + t.ThreadPlace + t.DataPlace
+}
+
+// Result is a complete co-schedule: VC sizes, data placement, and thread
+// placement, plus step timings and trade statistics.
+type Result struct {
+	// VCSizes[v] is VC v's capacity allocation in lines.
+	VCSizes []float64
+	// Assignment maps each VC to per-bank lines.
+	Assignment place.Assignment
+	// ThreadCore maps each thread to its core tile.
+	ThreadCore []mesh.Tile
+	// Optimistic is the intermediate contention-aware placement (step 2).
+	Optimistic place.Optimistic
+	// Trades counts executed refinement trades; TradeGain is their total
+	// Eq. 2 latency reduction (≤ 0).
+	Trades    int
+	TradeGain float64
+	// Timing records per-step wall time.
+	Timing Timing
+}
+
+// Reconfigure runs one full reconfiguration for the mix. fixedThreads
+// supplies the thread placement used when Feats.ThreadPlace is off (and
+// seeds nothing otherwise); it must cover all threads in the mix. It returns
+// an error when the mix does not fit the chip (more threads than cores) or
+// when inputs are inconsistent.
+func Reconfigure(cfg Config, mix *workload.Mix, fixedThreads []mesh.Tile) (Result, error) {
+	nThreads := len(mix.Threads)
+	if nThreads > cfg.Chip.Banks() {
+		return Result{}, fmt.Errorf("core: %d threads exceed %d cores", nThreads, cfg.Chip.Banks())
+	}
+	if !cfg.Feats.ThreadPlace {
+		if len(fixedThreads) < nThreads {
+			return Result{}, fmt.Errorf("core: fixed thread placement covers %d of %d threads", len(fixedThreads), nThreads)
+		}
+	}
+
+	var res Result
+
+	// Step 1: capacity allocation.
+	start := time.Now()
+	res.VCSizes = allocate(cfg, mix)
+	res.Timing.Alloc = time.Since(start)
+
+	demands := make([]place.Demand, len(mix.VCs))
+	for v := range mix.VCs {
+		demands[v] = place.Demand{Size: res.VCSizes[v], Accessors: mix.VCs[v].Accessors}
+	}
+
+	// Step 2: optimistic contention-aware VC placement.
+	start = time.Now()
+	res.Optimistic = place.OptimisticPlace(cfg.Chip, demands)
+	res.Timing.VCPlace = time.Since(start)
+
+	// Step 3: thread placement.
+	start = time.Now()
+	if cfg.Feats.ThreadPlace {
+		res.ThreadCore = place.PlaceThreads(cfg.Chip, demands, res.Optimistic, nThreads)
+	} else {
+		res.ThreadCore = append([]mesh.Tile(nil), fixedThreads[:nThreads]...)
+	}
+	res.Timing.ThreadPlace = time.Since(start)
+
+	// Step 4: refined data placement.
+	start = time.Now()
+	res.Assignment = place.Greedy(cfg.Chip, demands, res.ThreadCore, cfg.chunk())
+	if cfg.Feats.RefinedTrades {
+		res.Trades, res.TradeGain = place.Refine(cfg.Chip, demands, res.Assignment, res.ThreadCore)
+	}
+	res.Timing.DataPlace = time.Since(start)
+
+	return res, nil
+}
+
+// allocate sizes all VCs (step 1). Latency-aware mode uses total-latency
+// curves and may leave capacity unused; otherwise miss-cost curves are used
+// and all capacity is handed out (Jigsaw).
+func allocate(cfg Config, mix *workload.Mix) []float64 {
+	total := cfg.Chip.TotalLines()
+	dist := alloc.CompactDistance(cfg.Chip.Topo, cfg.Chip.BankLines)
+	costs := make([]curves.Curve, len(mix.VCs))
+	for v := range mix.VCs {
+		vc := &mix.VCs[v]
+		apki := vc.TotalAPKI()
+		if cfg.Feats.LatencyAware {
+			costs[v] = alloc.TotalLatencyCurve(vc.MissRatio, apki, dist, cfg.Model, total)
+		} else {
+			costs[v] = alloc.MissLatencyCurve(vc.MissRatio, apki, cfg.Model, total)
+		}
+	}
+	if cfg.BankGranular {
+		return alloc.PeekaheadQuantized(costs, total, cfg.Chip.BankLines)
+	}
+	if cfg.Feats.LatencyAware {
+		return alloc.Peekahead(costs, total)
+	}
+	return alloc.PeekaheadFull(costs, total)
+}
+
+// OnChipLatency evaluates Eq. 2 (access·hops) for a result.
+func (r Result) OnChipLatency(cfg Config, mix *workload.Mix) float64 {
+	demands := make([]place.Demand, len(mix.VCs))
+	for v := range mix.VCs {
+		demands[v] = place.Demand{Size: r.VCSizes[v], Accessors: mix.VCs[v].Accessors}
+	}
+	return place.OnChipLatency(cfg.Chip, demands, r.Assignment, r.ThreadCore)
+}

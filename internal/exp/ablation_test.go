@@ -1,0 +1,154 @@
+package exp
+
+import (
+	"testing"
+)
+
+func TestAblationTradesOnePassSuffices(t *testing.T) {
+	opts := QuickOptions()
+	opts.Mixes = 3
+	rep, err := Run("ablation-trades", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's design choice: one pass discovers most trades. Require
+	// round 1 to capture the majority of the 8-round gain.
+	one := rep.Scalars["gainFrac:1"]
+	if one < 0.5 {
+		t.Errorf("one trade round captures only %.1f%% of the gain", one*100)
+	}
+	// Gains are monotone in rounds.
+	prev := 0.0
+	for _, r := range []string{"gainFrac:1", "gainFrac:2", "gainFrac:4", "gainFrac:8"} {
+		if rep.Scalars[r] < prev-1e-9 {
+			t.Errorf("gain fraction decreased at %s", r)
+		}
+		prev = rep.Scalars[r]
+	}
+}
+
+func TestAblationGMONWays(t *testing.T) {
+	rep := quick(t, "ablation-gmon-ways")
+	// More ways never dramatically worse; 64 ways (paper design point)
+	// should be within 2x of 128 and clearly better than 16.
+	if rep.Scalars["rms:64"] > rep.Scalars["rms:16"] {
+		t.Errorf("64-way GMON (%.4f) worse than 16-way (%.4f)",
+			rep.Scalars["rms:64"], rep.Scalars["rms:16"])
+	}
+	if rep.Scalars["rms:64"] > 2.5*rep.Scalars["rms:128"]+0.02 {
+		t.Errorf("64-way GMON (%.4f) far worse than 128-way (%.4f)",
+			rep.Scalars["rms:64"], rep.Scalars["rms:128"])
+	}
+}
+
+func TestAblationChunkFinerIsBetter(t *testing.T) {
+	opts := QuickOptions()
+	opts.Mixes = 4
+	rep, err := Run("ablation-chunk", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whole-bank allocation is never better than fine-grained.
+	if rep.Scalars["gmean:div1"] > rep.Scalars["gmean:div64"]+1e-9 {
+		t.Errorf("whole-bank WS %.3f above fine-grained %.3f",
+			rep.Scalars["gmean:div1"], rep.Scalars["gmean:div64"])
+	}
+}
+
+func TestExtNUMAOrderingPreserved(t *testing.T) {
+	opts := QuickOptions()
+	opts.Mixes = 4
+	rep, err := Run("ext-numa", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distance-dependent memory latency does not change who wins.
+	if rep.Scalars["gmean:CDCS"] <= rep.Scalars["gmean:Jigsaw+C"] {
+		t.Errorf("NUMA-aware: CDCS %.3f not above Jigsaw+C %.3f",
+			rep.Scalars["gmean:CDCS"], rep.Scalars["gmean:Jigsaw+C"])
+	}
+	if rep.Scalars["gmean:R-NUCA"] <= 1.0 {
+		t.Errorf("NUMA-aware: R-NUCA %.3f below baseline", rep.Scalars["gmean:R-NUCA"])
+	}
+}
+
+func TestExtNoCValidation(t *testing.T) {
+	rep := quick(t, "ext-noc")
+	// The event model validates Eq. 2: queueing on top of zero-load latency
+	// is negligible for CDCS and modest even for S-NUCA at real loads.
+	if q := rep.Scalars["queueing:CDCS"]; q > 1.0 {
+		t.Errorf("CDCS queueing %.2f cycles, want ~0", q)
+	}
+	if rep.Scalars["queueing:S-NUCA"] <= rep.Scalars["queueing:CDCS"] {
+		t.Error("S-NUCA should queue more than CDCS")
+	}
+	// Measured never below zero-load.
+	for _, s := range []string{"CDCS", "S-NUCA"} {
+		if rep.Scalars["measured:"+s] < rep.Scalars["zeroload:"+s]-1e-9 {
+			t.Errorf("%s: measured below zero-load", s)
+		}
+	}
+}
+
+func TestExtPhasesAdaptationWins(t *testing.T) {
+	rep := quick(t, "ext-phases")
+	oracle := rep.Scalars["ipc:oracle(free moves)"]
+	bg := rep.Scalars["ipc:adaptive+background"]
+	bulk := rep.Scalars["ipc:adaptive+bulk"]
+	static := rep.Scalars["ipc:static(no adaptation)"]
+	if !(oracle >= bg && bg > bulk && bulk > static) {
+		t.Errorf("ordering violated: oracle %.2f bg %.2f bulk %.2f static %.2f",
+			oracle, bg, bulk, static)
+	}
+	if gain := rep.Scalars["adaptGain"]; gain < 1.05 {
+		t.Errorf("adaptation gain %.3f too small for phased workloads", gain)
+	}
+}
+
+func TestExtScalingAdvantageGrows(t *testing.T) {
+	opts := QuickOptions()
+	opts.Mixes = 3
+	rep, err := Run("ext-scaling", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CDCS beats Jigsaw+R at every size, and its S-NUCA-relative win grows
+	// from the smallest to the largest measured chip.
+	c := rep.Series["cdcs"]
+	j := rep.Series["jigsaw"]
+	for i := range c {
+		if c[i] < j[i]-1e-9 {
+			t.Errorf("size index %d: CDCS %.3f below Jigsaw+R %.3f", i, c[i], j[i])
+		}
+	}
+	if c[len(c)-1] <= c[0] {
+		t.Errorf("CDCS advantage did not grow with scale: %.3f -> %.3f", c[0], c[len(c)-1])
+	}
+}
+
+func TestExtHWSimValidatesCapacityModel(t *testing.T) {
+	rep := quick(t, "ext-hwsim")
+	// Streaming and comfortably-fitting VCs validate tightly; VCs allocated
+	// exactly their footprint lose some hits to set conflicts and partition
+	// enforcement slack (the fully-associative analytic model is optimistic
+	// right at the cliff), so the max tolerance is looser.
+	if mean := rep.Scalars["meanErr"]; mean > 0.10 {
+		t.Errorf("mean hit-ratio error %.3f, want <= 0.10", mean)
+	}
+	if max := rep.Scalars["maxErr"]; max > 0.25 {
+		t.Errorf("max hit-ratio error %.3f, want <= 0.25", max)
+	}
+}
+
+func TestExtMonitorClosedLoop(t *testing.T) {
+	rep := quick(t, "ext-monitor")
+	// Monitored curves are close to truth...
+	if mae := rep.Scalars["curveMAE"]; mae > 0.12 {
+		t.Errorf("monitored-curve MAE %.4f too large", mae)
+	}
+	// ...and allocations driven by them lose little: within 15% of the
+	// true-curve allocation's off-chip cost.
+	if rel := rep.Scalars["measuredOverTrue"]; rel > 1.15 || rel < 0.85 {
+		t.Errorf("GMON-driven allocation cost %.3fx of true-curve allocation", rel)
+	}
+}

@@ -1,0 +1,104 @@
+// Package exp contains one runner per table and figure in the paper's
+// evaluation (plus the §II-B case study and the §VI-C analyses). Each runner
+// regenerates the corresponding rows or series — workload generation,
+// parameter sweep, baselines and formatting — so the whole evaluation is
+// reproducible from the command line (cmd/cdcs) and from benchmarks
+// (bench_test.go). Absolute numbers differ from the paper (our substrate is
+// an analytic simulator, not zsim on SPEC); the shapes and orderings are the
+// reproduction targets, recorded in EXPERIMENTS.md.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Mixes is the number of workload mixes per point (the paper uses 50).
+	Mixes int
+	// Seed anchors all randomness.
+	Seed int64
+	// Quick trims sweeps for benchmark/CI use.
+	Quick bool
+}
+
+// DefaultOptions mirrors the paper's methodology.
+func DefaultOptions() Options {
+	return Options{Mixes: 50, Seed: 1}
+}
+
+// QuickOptions is a scaled-down configuration for benchmarks and smoke runs.
+func QuickOptions() Options {
+	return Options{Mixes: 8, Seed: 1, Quick: true}
+}
+
+// Report is an experiment's output: formatted lines for humans plus raw
+// series and scalars for tests and benchmarks.
+type Report struct {
+	ID      string
+	Title   string
+	Lines   []string
+	Series  map[string][]float64
+	Scalars map[string]float64
+}
+
+// newReport initializes an empty report.
+func newReport(id, title string) *Report {
+	return &Report{
+		ID: id, Title: title,
+		Series:  map[string][]float64{},
+		Scalars: map[string]float64{},
+	}
+}
+
+// addf appends a formatted line.
+func (r *Report) addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Runner produces a report.
+type Runner func(Options) (*Report, error)
+
+// registry maps experiment ids to runners, populated by init() calls in the
+// per-experiment files.
+var registry = map[string]Runner{}
+
+// order preserves a stable listing order.
+var order []string
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("exp: duplicate experiment id " + id)
+	}
+	registry[id] = r
+	order = append(order, id)
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, opts Options) (*Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r(opts)
+}
+
+// IDs lists registered experiments in registration order.
+func IDs() []string {
+	out := append([]string(nil), order...)
+	sort.Strings(out)
+	return out
+}

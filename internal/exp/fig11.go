@@ -1,0 +1,167 @@
+package exp
+
+import (
+	"math/rand"
+	"strconv"
+
+	"cdcs/internal/core"
+	"cdcs/internal/policy"
+	"cdcs/internal/sim"
+	"cdcs/internal/stats"
+	"cdcs/internal/workload"
+)
+
+func init() {
+	register("fig11", runFig11)
+	register("fig12", runFig12)
+	register("fig13", runFig13)
+	register("fig14", runFig14)
+}
+
+// allSchemes returns the five evaluation columns.
+func allSchemes() []policy.Scheme {
+	return []policy.Scheme{
+		policy.SchemeSNUCA, policy.SchemeRNUCA,
+		policy.SchemeJigsawC, policy.SchemeJigsawR, policy.SchemeCDCS,
+	}
+}
+
+// stCampaign runs nApps-sized single-threaded mixes under all schemes.
+func stCampaign(opts Options, nApps int) ([]sim.CampaignResult, error) {
+	env := policy.DefaultEnv()
+	cpu := workload.SPECCPU()
+	return sim.RunCampaign(env, allSchemes(), opts.Mixes, opts.Seed, func(rng *rand.Rand) *workload.Mix {
+		return workload.RandomST(rng, cpu, nApps)
+	})
+}
+
+// reportCampaign formats a campaign the way Fig. 11 reports it: WS
+// distribution stats, latency ratios vs CDCS, traffic and energy breakdowns.
+func reportCampaign(rep *Report, res []sim.CampaignResult) {
+	var cdcs sim.CampaignResult
+	for _, r := range res {
+		if r.Scheme == "CDCS" {
+			cdcs = r
+		}
+	}
+	rep.addf("%-10s %7s %7s | %9s %9s | %7s %7s %7s | %8s",
+		"scheme", "gmeanWS", "maxWS", "on-chip", "off-chip", "L2LLC", "LLCMem", "other", "pJ/instr")
+	for _, r := range res {
+		onRel := ratio(r.OnChipPKI, cdcs.OnChipPKI)
+		offRel := ratio(r.OffChipPKI, cdcs.OffChipPKI)
+		rep.addf("%-10s %7.3f %7.3f | %8.2fx %8.2fx | %7.2f %7.2f %7.2f | %8.0f",
+			r.Scheme, r.Gmean, r.Max, onRel, offRel,
+			r.Traffic.L2LLC, r.Traffic.LLCMem, r.Traffic.Other, r.Energy.Total())
+		rep.Series["ws:"+r.Scheme] = stats.Sorted(r.WS)
+		rep.Scalars["gmean:"+r.Scheme] = r.Gmean
+		rep.Scalars["max:"+r.Scheme] = r.Max
+		rep.Scalars["onchip:"+r.Scheme] = r.OnChipPKI
+		rep.Scalars["offchip:"+r.Scheme] = r.OffChipPKI
+		rep.Scalars["traffic:"+r.Scheme] = r.Traffic.Total()
+		rep.Scalars["energy:"+r.Scheme] = r.Energy.Total()
+		rep.Scalars["energyStatic:"+r.Scheme] = r.Energy.Static
+		rep.Scalars["energyNet:"+r.Scheme] = r.Energy.Net
+		rep.Scalars["energyMem:"+r.Scheme] = r.Energy.Mem
+	}
+}
+
+// runFig11 reproduces Fig. 11: 50 mixes of 64 SPEC-like apps under the five
+// schemes — weighted-speedup distribution (a), on-chip latency (b), off-chip
+// latency (c), traffic (d), energy (e).
+func runFig11(opts Options) (*Report, error) {
+	rep := newReport("fig11", "64-app mixes: speedups, latency, traffic, energy (Fig. 11)")
+	res, err := stCampaign(opts, 64)
+	if err != nil {
+		return nil, err
+	}
+	reportCampaign(rep, res)
+	return rep, nil
+}
+
+// runFig12 reproduces the factor analysis of Fig. 12: Jigsaw+R plus each
+// CDCS technique alone (+L, +T, +D) and all together (+LTD = CDCS), on 64-
+// and 4-app mixes.
+func runFig12(opts Options) (*Report, error) {
+	rep := newReport("fig12", "Factor analysis: +L, +T, +D over Jigsaw+R (Fig. 12)")
+	env := policy.DefaultEnv()
+	cpu := workload.SPECCPU()
+
+	variant := func(label string, f core.Features) policy.Scheme {
+		threads := policy.Random
+		if f.ThreadPlace {
+			threads = policy.Placed
+		}
+		return policy.Scheme{Kind: policy.CDCS, Threads: threads, Feats: f, Label: label}
+	}
+	schemes := []policy.Scheme{
+		policy.SchemeSNUCA,
+		policy.SchemeJigsawR,
+		variant("+L", core.Features{LatencyAware: true}),
+		variant("+T", core.Features{ThreadPlace: true}),
+		variant("+D", core.Features{RefinedTrades: true}),
+		variant("+LTD", core.AllCDCS()),
+	}
+	for _, nApps := range []int{64, 4} {
+		res, err := sim.RunCampaign(env, schemes, opts.Mixes, opts.Seed, func(rng *rand.Rand) *workload.Mix {
+			return workload.RandomST(rng, cpu, nApps)
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.addf("%d apps:", nApps)
+		for _, r := range res[1:] { // skip the S-NUCA baseline row
+			rep.addf("  %-8s gmean WS %.3f", r.Scheme, r.Gmean)
+			rep.Scalars[keyN("gmean", r.Scheme, nApps)] = r.Gmean
+		}
+	}
+	return rep, nil
+}
+
+// runFig13 reproduces Fig. 13: gmean weighted speedups as the chip runs
+// 1-64 apps (under-committed systems).
+func runFig13(opts Options) (*Report, error) {
+	rep := newReport("fig13", "Under-committed systems: 1-64 apps (Fig. 13)")
+	counts := []int{1, 2, 4, 8, 16, 32, 64}
+	if opts.Quick {
+		counts = []int{2, 4, 16, 64}
+	}
+	rep.addf("%6s %8s %8s %8s %8s %8s", "apps", "S-NUCA", "R-NUCA", "Jig+C", "Jig+R", "CDCS")
+	for _, n := range counts {
+		res, err := stCampaign(opts, n)
+		if err != nil {
+			return nil, err
+		}
+		row := make(map[string]float64, len(res))
+		for _, r := range res {
+			row[r.Scheme] = r.Gmean
+			rep.Scalars[keyN("gmean", r.Scheme, n)] = r.Gmean
+			rep.Series["gmean:"+r.Scheme] = append(rep.Series["gmean:"+r.Scheme], r.Gmean)
+		}
+		rep.addf("%6d %8.3f %8.3f %8.3f %8.3f %8.3f",
+			n, row["S-NUCA"], row["R-NUCA"], row["Jigsaw+C"], row["Jigsaw+R"], row["CDCS"])
+	}
+	return rep, nil
+}
+
+// runFig14 reproduces Fig. 14: the 4-app campaign in distribution + traffic
+// detail (where latency-aware allocation matters most).
+func runFig14(opts Options) (*Report, error) {
+	rep := newReport("fig14", "4-app mixes: speedup distribution and traffic (Fig. 14)")
+	res, err := stCampaign(opts, 4)
+	if err != nil {
+		return nil, err
+	}
+	reportCampaign(rep, res)
+	return rep, nil
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func keyN(metric, scheme string, n int) string {
+	return metric + ":" + scheme + ":" + strconv.Itoa(n)
+}

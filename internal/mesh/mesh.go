@@ -1,0 +1,242 @@
+// Package mesh models the on-chip network of a tiled CMP: a 2-D mesh with
+// X-Y routing, one tile per router, and memory controllers at the chip edges.
+//
+// The rest of the system measures locality in router-to-router hop counts on
+// this mesh (the paper's D(t1, t2) distance function). All placement
+// algorithms in internal/place and internal/core consume distances through
+// this package, so alternative topologies only need to implement the same
+// distance interface.
+package mesh
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tile identifies a tile (core + LLC bank slice) by its index in row-major
+// order: tile = y*Width + x.
+type Tile int
+
+// Topology is an immutable W×H mesh. The zero value is not usable; construct
+// with New.
+type Topology struct {
+	width  int
+	height int
+
+	// distance[a][b] is the Manhattan distance in hops between tiles a and b.
+	distance [][]int
+
+	// byDistance[c] lists all tiles sorted by increasing distance from c,
+	// with ties broken by tile index so orderings are deterministic.
+	byDistance [][]Tile
+
+	// memControllers are the tiles adjacent to memory controllers. Pages are
+	// interleaved across controllers, so the average distance from a tile to
+	// all controllers is what matters for LLC-to-memory traffic.
+	memControllers []Tile
+
+	// avgMCDist[t] is the mean distance from tile t to the memory controllers.
+	avgMCDist []float64
+
+	// meanPairDist is the mean distance between two uniformly random tiles
+	// (the expected hop count of an S-NUCA access).
+	meanPairDist float64
+}
+
+// New builds a width×height mesh. It panics if either dimension is < 1;
+// topology construction errors are programming errors, not runtime input.
+func New(width, height int) *Topology {
+	if width < 1 || height < 1 {
+		panic(fmt.Sprintf("mesh: invalid dimensions %dx%d", width, height))
+	}
+	n := width * height
+	t := &Topology{width: width, height: height}
+
+	t.distance = make([][]int, n)
+	for a := 0; a < n; a++ {
+		t.distance[a] = make([]int, n)
+		ax, ay := a%width, a/width
+		for b := 0; b < n; b++ {
+			bx, by := b%width, b/width
+			t.distance[a][b] = abs(ax-bx) + abs(ay-by)
+		}
+	}
+
+	t.byDistance = make([][]Tile, n)
+	for c := 0; c < n; c++ {
+		order := make([]Tile, n)
+		for i := range order {
+			order[i] = Tile(i)
+		}
+		d := t.distance[c]
+		sort.SliceStable(order, func(i, j int) bool {
+			di, dj := d[order[i]], d[order[j]]
+			if di != dj {
+				return di < dj
+			}
+			return order[i] < order[j]
+		})
+		t.byDistance[c] = order
+	}
+
+	t.memControllers = edgeControllers(width, height)
+	t.avgMCDist = make([]float64, n)
+	for a := 0; a < n; a++ {
+		sum := 0
+		for _, mc := range t.memControllers {
+			sum += t.distance[a][mc]
+		}
+		t.avgMCDist[a] = float64(sum) / float64(len(t.memControllers))
+	}
+
+	total := 0
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			total += t.distance[a][b]
+		}
+	}
+	t.meanPairDist = float64(total) / float64(n*n)
+
+	return t
+}
+
+// edgeControllers spreads 8 memory controllers around the chip edge (2 per
+// side, as in the paper's Fig. 3), degrading gracefully for small meshes.
+func edgeControllers(width, height int) []Tile {
+	at := func(x, y int) Tile { return Tile(y*width + x) }
+	if width < 2 || height < 2 {
+		// Degenerate mesh: put a single controller at tile 0.
+		return []Tile{0}
+	}
+	third := func(n int) (int, int) { return n / 3, (2 * n) / 3 }
+	x1, x2 := third(width)
+	y1, y2 := third(height)
+	mcs := []Tile{
+		at(x1, 0), at(x2, 0), // top edge
+		at(x1, height-1), at(x2, height-1), // bottom edge
+		at(0, y1), at(0, y2), // left edge
+		at(width-1, y1), at(width-1, y2), // right edge
+	}
+	// Dedup (small meshes can collapse positions).
+	seen := make(map[Tile]bool, len(mcs))
+	out := mcs[:0]
+	for _, m := range mcs {
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Width returns the mesh width in tiles.
+func (t *Topology) Width() int { return t.width }
+
+// Height returns the mesh height in tiles.
+func (t *Topology) Height() int { return t.height }
+
+// Tiles returns the number of tiles in the mesh.
+func (t *Topology) Tiles() int { return t.width * t.height }
+
+// Coords returns the (x, y) coordinates of a tile.
+func (t *Topology) Coords(tile Tile) (x, y int) {
+	return int(tile) % t.width, int(tile) / t.width
+}
+
+// TileAt returns the tile at coordinates (x, y).
+func (t *Topology) TileAt(x, y int) Tile {
+	return Tile(y*t.width + x)
+}
+
+// Distance returns the X-Y routing hop count between two tiles.
+func (t *Topology) Distance(a, b Tile) int {
+	return t.distance[a][b]
+}
+
+// ByDistance returns all tiles ordered by increasing distance from center
+// (deterministic tie-break by tile index). The returned slice is shared;
+// callers must not modify it.
+func (t *Topology) ByDistance(center Tile) []Tile {
+	return t.byDistance[center]
+}
+
+// MemControllers returns the tiles adjacent to memory controllers.
+func (t *Topology) MemControllers() []Tile {
+	return t.memControllers
+}
+
+// AvgMemDistance returns the mean hop count from tile a to the memory
+// controllers (pages are interleaved across controllers).
+func (t *Topology) AvgMemDistance(a Tile) float64 {
+	return t.avgMCDist[a]
+}
+
+// MeanPairDistance returns the mean distance between two uniformly random
+// tiles: the expected hop count of an S-NUCA LLC access.
+func (t *Topology) MeanPairDistance() float64 {
+	return t.meanPairDist
+}
+
+// CenterTile returns a tile closest to the geometric center of the chip. For
+// even dimensions it picks the upper-left of the four central tiles, matching
+// the paper's convention of placing large VCs "around the center of the chip".
+func (t *Topology) CenterTile() Tile {
+	return t.TileAt((t.width-1)/2, (t.height-1)/2)
+}
+
+// CenterOfMass computes the continuous center of mass of a weighted set of
+// tiles and returns it as fractional coordinates. Zero total weight returns
+// the chip center.
+func (t *Topology) CenterOfMass(weight map[Tile]float64) (x, y float64) {
+	var wx, wy, wsum float64
+	for tile, w := range weight {
+		tx, ty := t.Coords(tile)
+		wx += w * float64(tx)
+		wy += w * float64(ty)
+		wsum += w
+	}
+	if wsum == 0 {
+		cx, cy := t.Coords(t.CenterTile())
+		return float64(cx), float64(cy)
+	}
+	return wx / wsum, wy / wsum
+}
+
+// NearestTile maps fractional coordinates back to the nearest tile, clamping
+// to the mesh boundary.
+func (t *Topology) NearestTile(x, y float64) Tile {
+	xi := clamp(int(x+0.5), 0, t.width-1)
+	yi := clamp(int(y+0.5), 0, t.height-1)
+	return t.TileAt(xi, yi)
+}
+
+// DistanceToPoint returns the Manhattan distance from a tile to fractional
+// coordinates (used to rank cores around a thread's center of mass).
+func (t *Topology) DistanceToPoint(tile Tile, x, y float64) float64 {
+	tx, ty := t.Coords(tile)
+	return absF(float64(tx)-x) + absF(float64(ty)-y)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func absF(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,243 @@
+package mesh
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDimensions(t *testing.T) {
+	cases := []struct {
+		w, h int
+	}{
+		{1, 1}, {2, 2}, {6, 6}, {8, 8}, {4, 2},
+	}
+	for _, c := range cases {
+		m := New(c.w, c.h)
+		if m.Width() != c.w || m.Height() != c.h {
+			t.Errorf("New(%d,%d): got %dx%d", c.w, c.h, m.Width(), m.Height())
+		}
+		if m.Tiles() != c.w*c.h {
+			t.Errorf("New(%d,%d): Tiles=%d", c.w, c.h, m.Tiles())
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestCoordsRoundTrip(t *testing.T) {
+	m := New(8, 8)
+	for i := 0; i < m.Tiles(); i++ {
+		x, y := m.Coords(Tile(i))
+		if m.TileAt(x, y) != Tile(i) {
+			t.Fatalf("tile %d: coords (%d,%d) round-trips to %d", i, x, y, m.TileAt(x, y))
+		}
+	}
+}
+
+func TestDistanceKnownValues(t *testing.T) {
+	m := New(8, 8)
+	cases := []struct {
+		a, b Tile
+		want int
+	}{
+		{0, 0, 0},
+		{0, 7, 7},   // across top row
+		{0, 56, 7},  // down left column
+		{0, 63, 14}, // corner to corner
+		{m.TileAt(3, 3), m.TileAt(4, 3), 1},
+		{m.TileAt(3, 3), m.TileAt(4, 4), 2},
+	}
+	for _, c := range cases {
+		if got := m.Distance(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%d,%d)=%d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistanceMetricProperties(t *testing.T) {
+	m := New(6, 6)
+	n := m.Tiles()
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			v[0] = reflect.ValueOf(Tile(r.Intn(n)))
+			v[1] = reflect.ValueOf(Tile(r.Intn(n)))
+			v[2] = reflect.ValueOf(Tile(r.Intn(n)))
+		},
+	}
+	// Symmetry, identity, triangle inequality.
+	prop := func(a, b, c Tile) bool {
+		if m.Distance(a, b) != m.Distance(b, a) {
+			return false
+		}
+		if (m.Distance(a, b) == 0) != (a == b) {
+			return false
+		}
+		return m.Distance(a, c) <= m.Distance(a, b)+m.Distance(b, c)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByDistanceOrdering(t *testing.T) {
+	m := New(8, 8)
+	for c := 0; c < m.Tiles(); c++ {
+		order := m.ByDistance(Tile(c))
+		if len(order) != m.Tiles() {
+			t.Fatalf("ByDistance(%d): len=%d", c, len(order))
+		}
+		if order[0] != Tile(c) {
+			t.Errorf("ByDistance(%d): first tile is %d, want center", c, order[0])
+		}
+		seen := make(map[Tile]bool)
+		prev := -1
+		for _, tl := range order {
+			if seen[tl] {
+				t.Fatalf("ByDistance(%d): duplicate tile %d", c, tl)
+			}
+			seen[tl] = true
+			d := m.Distance(Tile(c), tl)
+			if d < prev {
+				t.Fatalf("ByDistance(%d): distance decreased (%d after %d)", c, d, prev)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestByDistanceDeterministicTieBreak(t *testing.T) {
+	m := New(4, 4)
+	a := m.ByDistance(0)
+	b := New(4, 4).ByDistance(0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("orderings differ at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMemControllers(t *testing.T) {
+	m := New(8, 8)
+	mcs := m.MemControllers()
+	if len(mcs) != 8 {
+		t.Fatalf("8x8 mesh: %d controllers, want 8", len(mcs))
+	}
+	for _, mc := range mcs {
+		x, y := m.Coords(mc)
+		if x != 0 && x != 7 && y != 0 && y != 7 {
+			t.Errorf("controller %d at (%d,%d) is not on an edge", mc, x, y)
+		}
+	}
+}
+
+func TestMemControllersSmallMesh(t *testing.T) {
+	m := New(1, 1)
+	if len(m.MemControllers()) != 1 {
+		t.Fatalf("1x1 mesh should have one controller")
+	}
+}
+
+func TestAvgMemDistanceSymmetricTiles(t *testing.T) {
+	m := New(8, 8)
+	// Chip is symmetric under 180-degree rotation, so opposite corners see
+	// the same average MC distance.
+	if d1, d2 := m.AvgMemDistance(0), m.AvgMemDistance(63); !close(d1, d2, 1e-9) {
+		t.Errorf("corner MC distances differ: %f vs %f", d1, d2)
+	}
+	// Center tiles should be no farther from MCs than the worst corner... and
+	// all distances are positive on an 8x8 mesh.
+	for i := 0; i < m.Tiles(); i++ {
+		if m.AvgMemDistance(Tile(i)) <= 0 {
+			t.Errorf("tile %d: non-positive MC distance", i)
+		}
+	}
+}
+
+func TestMeanPairDistance(t *testing.T) {
+	// For a WxW mesh, mean 1-D distance is (W^2-1)/(3W); Manhattan doubles it.
+	m := New(8, 8)
+	want := 2 * (64.0 - 1) / (3 * 8)
+	if got := m.MeanPairDistance(); !close(got, want, 1e-9) {
+		t.Errorf("MeanPairDistance=%f, want %f", got, want)
+	}
+}
+
+func TestCenterTile(t *testing.T) {
+	if c := New(8, 8).CenterTile(); c != Tile(3*8+3) {
+		t.Errorf("8x8 center = %d, want 27", c)
+	}
+	if c := New(3, 3).CenterTile(); c != Tile(1*3+1) {
+		t.Errorf("3x3 center = %d, want 4", c)
+	}
+}
+
+func TestCenterOfMass(t *testing.T) {
+	m := New(8, 8)
+	// Single tile: center of mass is that tile.
+	x, y := m.CenterOfMass(map[Tile]float64{m.TileAt(2, 5): 3.0})
+	if !close(x, 2, 1e-9) || !close(y, 5, 1e-9) {
+		t.Errorf("single-tile CoM = (%f,%f), want (2,5)", x, y)
+	}
+	// Two equal weights: midpoint.
+	x, y = m.CenterOfMass(map[Tile]float64{m.TileAt(0, 0): 1, m.TileAt(4, 2): 1})
+	if !close(x, 2, 1e-9) || !close(y, 1, 1e-9) {
+		t.Errorf("two-tile CoM = (%f,%f), want (2,1)", x, y)
+	}
+	// Zero weight: chip center.
+	x, y = m.CenterOfMass(nil)
+	cx, cy := m.Coords(m.CenterTile())
+	if !close(x, float64(cx), 1e-9) || !close(y, float64(cy), 1e-9) {
+		t.Errorf("empty CoM = (%f,%f), want center (%d,%d)", x, y, cx, cy)
+	}
+}
+
+func TestNearestTileClamps(t *testing.T) {
+	m := New(8, 8)
+	cases := []struct {
+		x, y float64
+		want Tile
+	}{
+		{0, 0, 0},
+		{7.4, 7.4, 63},
+		{-3, -3, 0},
+		{100, 100, 63},
+		{3.6, 0, m.TileAt(4, 0)},
+	}
+	for _, c := range cases {
+		if got := m.NearestTile(c.x, c.y); got != c.want {
+			t.Errorf("NearestTile(%f,%f)=%d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestDistanceToPoint(t *testing.T) {
+	m := New(8, 8)
+	if d := m.DistanceToPoint(m.TileAt(3, 3), 3, 3); d != 0 {
+		t.Errorf("distance to own point = %f", d)
+	}
+	if d := m.DistanceToPoint(m.TileAt(0, 0), 1.5, 2.5); !close(d, 4, 1e-9) {
+		t.Errorf("distance = %f, want 4", d)
+	}
+}
+
+func close(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}

@@ -1,0 +1,220 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// simpleThread builds a one-VC thread input.
+func simpleThread(apki, ratio, hops float64) ThreadInput {
+	return ThreadInput{
+		CPIBase: 0.8,
+		MLP:     1.5,
+		Accesses: []VCAccess{
+			{APKI: apki, MissRatio: ratio, AvgHops: hops, MemHops: 4},
+		},
+	}
+}
+
+func TestEvaluateHandComputedIPC(t *testing.T) {
+	p := DefaultParams()
+	// Zero-miss thread: CPI = base + apki/1000×(hops×4×2 + 9)/MLP.
+	in := []ThreadInput{simpleThread(20, 0, 2)}
+	res := Evaluate(p, in)
+	wantCPI := 0.8 + 20.0/1000*(2*4*2+9)/1.5
+	if got := 1 / res.Threads[0].IPC; !near(got, wantCPI, 1e-9) {
+		t.Errorf("CPI=%g, want %g", got, wantCPI)
+	}
+	// OnChipPKI reports network cycles only (Fig. 11b), excluding bank time.
+	if got := res.Threads[0].OnChipPKI; !near(got, 20*2*4*2, 1e-9) {
+		t.Errorf("OnChipPKI=%g, want %g", got, 20.0*2*4*2)
+	}
+	// No misses: memory stays at zero load.
+	if res.MemUtilization > 0.01 {
+		t.Errorf("mem utilization %g for hit-only workload", res.MemUtilization)
+	}
+	if !near(res.MemLatency, p.MemZeroLoad+p.MemBurst, 0.2) {
+		t.Errorf("memLat=%g, want zero-load %g", res.MemLatency, p.MemZeroLoad+p.MemBurst)
+	}
+}
+
+func TestMissLatencyHurtsIPC(t *testing.T) {
+	p := DefaultParams()
+	hit := Evaluate(p, []ThreadInput{simpleThread(30, 0, 2)})
+	miss := Evaluate(p, []ThreadInput{simpleThread(30, 0.9, 2)})
+	if miss.Threads[0].IPC >= hit.Threads[0].IPC {
+		t.Errorf("missing thread IPC %g >= hitting %g", miss.Threads[0].IPC, hit.Threads[0].IPC)
+	}
+	// The off-chip PKI should reflect Eq. 1: mpki × memLat.
+	want := 30 * 0.9 * miss.MemLatency
+	if got := miss.Threads[0].OffChipPKI; !near(got, want, 1) {
+		t.Errorf("OffChipPKI=%g, want %g", got, want)
+	}
+}
+
+func TestDistanceHurtsIPC(t *testing.T) {
+	p := DefaultParams()
+	near0 := Evaluate(p, []ThreadInput{simpleThread(40, 0.1, 0)})
+	far := Evaluate(p, []ThreadInput{simpleThread(40, 0.1, 8)})
+	if far.Threads[0].IPC >= near0.Threads[0].IPC {
+		t.Error("distant data did not hurt IPC")
+	}
+	// Eq. 2 delta: 40/1000 × 8hops × 8 cycles = 2.56 extra cycles per
+	// kilo-instruction... per instruction 0.00256×1000.
+	dOn := far.Threads[0].OnChipPKI - near0.Threads[0].OnChipPKI
+	if !near(dOn, 40*8*4*2, 1e-6) {
+		t.Errorf("on-chip PKI delta %g, want %g", dOn, 40.0*8*4*2)
+	}
+}
+
+func TestBandwidthContention(t *testing.T) {
+	p := DefaultParams()
+	// One streaming thread alone vs with 63 others: queueing should inflate
+	// memory latency and depress per-thread IPC.
+	single := Evaluate(p, []ThreadInput{simpleThread(30, 1.0, 3)})
+	many := make([]ThreadInput, 64)
+	for i := range many {
+		many[i] = simpleThread(30, 1.0, 3)
+	}
+	crowd := Evaluate(p, many)
+	if crowd.MemLatency <= single.MemLatency {
+		t.Errorf("memLat crowd %g <= single %g", crowd.MemLatency, single.MemLatency)
+	}
+	if crowd.Threads[0].IPC >= single.Threads[0].IPC {
+		t.Error("bandwidth contention did not slow threads")
+	}
+	if crowd.MemUtilization <= single.MemUtilization {
+		t.Error("utilization did not grow with demand")
+	}
+	if crowd.MemUtilization >= 1 {
+		t.Error("utilization out of range")
+	}
+}
+
+func TestBandwidthReliefSpeedsOthers(t *testing.T) {
+	// The §II-B milc effect: when a co-runner stops missing, streaming
+	// threads speed up. Simulate 32 streaming threads + 32 co-runners that
+	// either miss a lot or not at all.
+	p := DefaultParams()
+	build := func(coRatio float64) []ThreadInput {
+		in := make([]ThreadInput, 64)
+		for i := 0; i < 32; i++ {
+			in[i] = simpleThread(26, 0.97, 3) // milc-like
+		}
+		for i := 32; i < 64; i++ {
+			in[i] = simpleThread(95, coRatio, 3) // omnet-like
+		}
+		return in
+	}
+	heavy := Evaluate(p, build(0.9))  // omnet thrashing (S-NUCA-like)
+	light := Evaluate(p, build(0.02)) // omnet fitting (CDCS-like)
+	if light.Threads[0].IPC <= heavy.Threads[0].IPC {
+		t.Errorf("milc IPC did not improve when omnet stopped missing: %g vs %g",
+			light.Threads[0].IPC, heavy.Threads[0].IPC)
+	}
+}
+
+func TestTrafficBreakdown(t *testing.T) {
+	p := DefaultParams()
+	res := Evaluate(p, []ThreadInput{simpleThread(50, 0.4, 3)})
+	tr := res.TrafficPerInstr
+	if tr.L2LLC <= 0 || tr.LLCMem <= 0 || tr.Other <= 0 {
+		t.Fatalf("traffic breakdown has zero classes: %+v", tr)
+	}
+	// Hand check L2-LLC: 50/1000 access/instr × 3 hops × 6 flits = 0.9.
+	if !near(tr.L2LLC, 0.9, 1e-9) {
+		t.Errorf("L2LLC=%g, want 0.9", tr.L2LLC)
+	}
+	// Zero-distance accesses generate no L2-LLC flit-hops.
+	res0 := Evaluate(p, []ThreadInput{simpleThread(50, 0.4, 0)})
+	if res0.TrafficPerInstr.L2LLC != 0 {
+		t.Errorf("local accesses produced L2LLC traffic %g", res0.TrafficPerInstr.L2LLC)
+	}
+}
+
+func TestEnergyBreakdown(t *testing.T) {
+	p := DefaultParams()
+	res := Evaluate(p, []ThreadInput{simpleThread(50, 0.4, 3)})
+	e := res.EnergyPerInstr
+	for name, v := range map[string]float64{
+		"static": e.Static, "core": e.Core, "net": e.Net, "llc": e.LLC, "mem": e.Mem,
+	} {
+		if v <= 0 {
+			t.Errorf("energy component %s is %g", name, v)
+		}
+	}
+	// Faster chip amortizes static energy: compare slow (missy) vs fast.
+	fast := Evaluate(p, []ThreadInput{simpleThread(10, 0, 1)})
+	if fast.EnergyPerInstr.Static >= res.EnergyPerInstr.Static {
+		t.Error("higher IPC did not reduce static energy per instruction")
+	}
+	// Missier workload spends more memory energy.
+	missy := Evaluate(p, []ThreadInput{simpleThread(50, 0.9, 3)})
+	if missy.EnergyPerInstr.Mem <= res.EnergyPerInstr.Mem {
+		t.Error("more misses did not increase memory energy")
+	}
+}
+
+func TestMultiVCThread(t *testing.T) {
+	p := DefaultParams()
+	// Thread with private (local, hitting) and shared (remote, missing) VCs.
+	in := ThreadInput{
+		CPIBase: 0.8, MLP: 2,
+		Accesses: []VCAccess{
+			{APKI: 10, MissRatio: 0.05, AvgHops: 0, MemHops: 4},
+			{APKI: 5, MissRatio: 0.5, AvgHops: 4, MemHops: 4},
+		},
+	}
+	res := Evaluate(p, []ThreadInput{in})
+	if got := res.Threads[0].APKI; !near(got, 15, 1e-9) {
+		t.Errorf("APKI=%g, want 15", got)
+	}
+	if got := res.Threads[0].MPKI; !near(got, 10*0.05+5*0.5, 1e-9) {
+		t.Errorf("MPKI=%g", got)
+	}
+}
+
+func TestMLPReducesExposedMissLatency(t *testing.T) {
+	p := DefaultParams()
+	lowMLP := ThreadInput{CPIBase: 0.8, MLP: 1, Accesses: []VCAccess{{APKI: 30, MissRatio: 0.9, AvgHops: 3, MemHops: 4}}}
+	highMLP := ThreadInput{CPIBase: 0.8, MLP: 4, Accesses: []VCAccess{{APKI: 30, MissRatio: 0.9, AvgHops: 3, MemHops: 4}}}
+	r1 := Evaluate(p, []ThreadInput{lowMLP})
+	r2 := Evaluate(p, []ThreadInput{highMLP})
+	if r2.Threads[0].IPC <= r1.Threads[0].IPC {
+		t.Error("MLP did not hide miss latency")
+	}
+}
+
+func TestEvaluatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty thread list accepted")
+		}
+	}()
+	Evaluate(DefaultParams(), nil)
+}
+
+func TestZeroAccessThread(t *testing.T) {
+	p := DefaultParams()
+	res := Evaluate(p, []ThreadInput{{CPIBase: 0.5, MLP: 1}})
+	if got := 1 / res.Threads[0].IPC; !near(got, 0.5, 1e-12) {
+		t.Errorf("compute-only thread CPI=%g, want 0.5", got)
+	}
+}
+
+func TestFixedPointDeterminism(t *testing.T) {
+	p := DefaultParams()
+	in := make([]ThreadInput, 48)
+	for i := range in {
+		in[i] = simpleThread(float64(10+i), 0.5, float64(i%8))
+	}
+	a := Evaluate(p, in)
+	b := Evaluate(p, in)
+	if a.MemLatency != b.MemLatency || a.AggIPC != b.AggIPC {
+		t.Error("evaluation not deterministic")
+	}
+}
+
+func near(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}

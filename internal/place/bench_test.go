@@ -1,0 +1,74 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"cdcs/internal/mesh"
+)
+
+// benchInstance builds a 64-VC placement problem (one reconfiguration's
+// steps 2-4 at paper scale).
+func benchInstance() (Chip, []Demand, []mesh.Tile) {
+	chip := Chip{Topo: mesh.New(8, 8), BankLines: 8192}
+	rng := rand.New(rand.NewSource(1))
+	demands := make([]Demand, 64)
+	budget := chip.TotalLines()
+	for i := range demands {
+		size := rng.Float64() * budget / 48
+		demands[i] = Demand{Size: size, Accessors: map[int]float64{i: 5 + rng.Float64()*90}}
+	}
+	threads := RandomThreads(chip, 64, rng.Perm(64))
+	return chip, demands, threads
+}
+
+func BenchmarkOptimisticPlace64(b *testing.B) {
+	chip, demands, _ := benchInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OptimisticPlace(chip, demands)
+	}
+}
+
+func BenchmarkGreedy64(b *testing.B) {
+	chip, demands, threads := benchInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Greedy(chip, demands, threads, 1024)
+	}
+}
+
+func BenchmarkRefine64(b *testing.B) {
+	chip, demands, threads := benchInstance()
+	base := Greedy(chip, demands, threads, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		a := base.Clone()
+		b.StartTimer()
+		Refine(chip, demands, a, threads)
+	}
+}
+
+func BenchmarkPlaceThreads64(b *testing.B) {
+	chip, demands, _ := benchInstance()
+	opt := OptimisticPlace(chip, demands)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PlaceThreads(chip, demands, opt, 64)
+	}
+}
+
+func BenchmarkOptimalTransport16(b *testing.B) {
+	chip := Chip{Topo: mesh.New(8, 8), BankLines: 8192}
+	rng := rand.New(rand.NewSource(2))
+	demands := make([]Demand, 16)
+	for i := range demands {
+		demands[i] = Demand{Size: float64(1+rng.Intn(4)) * 8192, Accessors: map[int]float64{i: 50}}
+	}
+	threads := RandomThreads(chip, 16, rng.Perm(64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OptimalTransport(chip, demands, threads, 1024)
+	}
+}

@@ -1,0 +1,162 @@
+package place
+
+import (
+	"sort"
+
+	"cdcs/internal/mesh"
+)
+
+// GraphPartition places threads by recursive bisection with Kernighan-Lin
+// style refinement: the METIS-like comparator of §VI-C. Threads form a graph
+// whose edge weights are shared-VC affinities; the chip is split recursively
+// into halves and the thread set is bipartitioned to minimize cut affinity
+// while balancing counts. The paper observes this family splits around the
+// chip center first — where CDCS instead likes to cluster one hot app — and
+// ends up ~2.5% worse in network latency.
+func GraphPartition(chip Chip, demands []Demand, nThreads int) []mesh.Tile {
+	// Affinity: threads sharing a VC attract proportionally to their rates.
+	aff := make([][]float64, nThreads)
+	for i := range aff {
+		aff[i] = make([]float64, nThreads)
+	}
+	for _, d := range demands {
+		if len(d.Accessors) < 2 {
+			continue
+		}
+		total := d.TotalRate()
+		if total <= 0 {
+			continue
+		}
+		for t1, r1 := range d.Accessors {
+			for t2, r2 := range d.Accessors {
+				if t1 >= nThreads || t2 >= nThreads || t1 >= t2 {
+					continue
+				}
+				w := r1 * r2 / total
+				aff[t1][t2] += w
+				aff[t2][t1] += w
+			}
+		}
+	}
+
+	out := make([]mesh.Tile, nThreads)
+	threads := make([]int, nThreads)
+	for i := range threads {
+		threads[i] = i
+	}
+	region := rect{0, 0, chip.Topo.Width(), chip.Topo.Height()}
+	bisect(chip, aff, threads, region, out)
+	return out
+}
+
+// rect is a sub-rectangle of the mesh in tile coordinates.
+type rect struct{ x, y, w, h int }
+
+func (r rect) tiles() int { return r.w * r.h }
+
+// bisect assigns the thread set to tiles in region, splitting recursively.
+func bisect(chip Chip, aff [][]float64, threads []int, region rect, out []mesh.Tile) {
+	if len(threads) == 0 {
+		return
+	}
+	if region.tiles() == 1 || len(threads) == 1 {
+		// Assign threads round-robin over the region's tiles (at most one
+		// each in well-formed calls).
+		i := 0
+		for ty := region.y; ty < region.y+region.h; ty++ {
+			for tx := region.x; tx < region.x+region.w; tx++ {
+				if i >= len(threads) {
+					return
+				}
+				out[threads[i]] = chip.Topo.TileAt(tx, ty)
+				i++
+			}
+		}
+		return
+	}
+	// Split along the longer axis.
+	var ra, rb rect
+	if region.w >= region.h {
+		wa := region.w / 2
+		ra = rect{region.x, region.y, wa, region.h}
+		rb = rect{region.x + wa, region.y, region.w - wa, region.h}
+	} else {
+		ha := region.h / 2
+		ra = rect{region.x, region.y, region.w, ha}
+		rb = rect{region.x, region.y + ha, region.w, region.h - ha}
+	}
+	// Capacity-balanced initial bipartition: pack threads in index order.
+	capA := ra.tiles()
+	if capA > len(threads) {
+		capA = len(threads)
+	}
+	nA := len(threads) * ra.tiles() / region.tiles()
+	if nA > capA {
+		nA = capA
+	}
+	if rem := len(threads) - nA; rem > rb.tiles() {
+		nA = len(threads) - rb.tiles()
+	}
+	side := make(map[int]bool, len(threads)) // true = side A
+	ordered := append([]int(nil), threads...)
+	sort.Ints(ordered)
+	for i, t := range ordered {
+		side[t] = i < nA
+	}
+	klRefine(aff, ordered, side, nA, ra.tiles(), rb.tiles())
+
+	var ta, tb []int
+	for _, t := range ordered {
+		if side[t] {
+			ta = append(ta, t)
+		} else {
+			tb = append(tb, t)
+		}
+	}
+	bisect(chip, aff, ta, ra, out)
+	bisect(chip, aff, tb, rb, out)
+}
+
+// klRefine runs single-swap Kernighan-Lin passes: repeatedly swap the pair
+// (one from each side) with the best cut-weight gain until no positive gain
+// remains (bounded passes for determinism and speed).
+func klRefine(aff [][]float64, threads []int, side map[int]bool, nA, capA, capB int) {
+	// gain of moving t to the other side: external - internal affinity.
+	gain := func(t int) float64 {
+		ext, int_ := 0.0, 0.0
+		for _, u := range threads {
+			if u == t {
+				continue
+			}
+			if side[u] == side[t] {
+				int_ += aff[t][u]
+			} else {
+				ext += aff[t][u]
+			}
+		}
+		return ext - int_
+	}
+	for pass := 0; pass < 8; pass++ {
+		bestGain := 0.0
+		bestA, bestB := -1, -1
+		for _, a := range threads {
+			if !side[a] {
+				continue
+			}
+			for _, b := range threads {
+				if side[b] {
+					continue
+				}
+				g := gain(a) + gain(b) - 2*aff[a][b]
+				if g > bestGain+1e-12 {
+					bestGain, bestA, bestB = g, a, b
+				}
+			}
+		}
+		if bestA < 0 {
+			return
+		}
+		side[bestA] = false
+		side[bestB] = true
+	}
+}

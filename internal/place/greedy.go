@@ -1,0 +1,91 @@
+package place
+
+import (
+	"sort"
+
+	"cdcs/internal/mesh"
+)
+
+// Greedy is Jigsaw's data placement and CDCS's refined-placement starting
+// point (§IV-F): VCs round-robin over chunk-sized claims, each taking
+// capacity from the closest bank (by access-weighted distance) that still
+// has room. Real capacity constraints are enforced. Returns the assignment;
+// all demand is always placed as long as total demand fits on the chip.
+func Greedy(chip Chip, demands []Demand, threadCore []mesh.Tile, chunk float64) Assignment {
+	if chunk <= 0 {
+		chunk = chip.BankLines / 16
+	}
+	dist := VCDistances(chip, demands, threadCore)
+	assign := NewAssignment(len(demands))
+	free := make([]float64, chip.Banks())
+	for i := range free {
+		free[i] = chip.BankLines
+	}
+
+	// Per-VC bank preference order and a cursor over it.
+	type state struct {
+		order     []mesh.Tile
+		cursor    int
+		remaining float64
+	}
+	states := make([]state, len(demands))
+	active := 0
+	for v := range demands {
+		states[v].remaining = demands[v].Size
+		if demands[v].Size > 0 {
+			active++
+		}
+		order := make([]mesh.Tile, chip.Banks())
+		for b := range order {
+			order[b] = mesh.Tile(b)
+		}
+		d := dist[v]
+		sort.SliceStable(order, func(i, j int) bool {
+			if d[order[i]] != d[order[j]] {
+				return d[order[i]] < d[order[j]]
+			}
+			return order[i] < order[j]
+		})
+		states[v].order = order
+	}
+
+	for active > 0 {
+		progressed := false
+		for v := range demands {
+			st := &states[v]
+			if st.remaining <= 1e-9 {
+				continue
+			}
+			// Advance to a bank with free space.
+			for st.cursor < len(st.order) && free[st.order[st.cursor]] <= 1e-9 {
+				st.cursor++
+			}
+			if st.cursor >= len(st.order) {
+				// Chip full: drop the rest of this VC's demand (can only
+				// happen when total demand exceeds capacity).
+				st.remaining = 0
+				active--
+				continue
+			}
+			b := st.order[st.cursor]
+			take := chunk
+			if take > st.remaining {
+				take = st.remaining
+			}
+			if take > free[b] {
+				take = free[b]
+			}
+			assign[v][b] += take
+			free[b] -= take
+			st.remaining -= take
+			progressed = true
+			if st.remaining <= 1e-9 {
+				active--
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return assign
+}

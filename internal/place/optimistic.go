@@ -1,0 +1,98 @@
+package place
+
+import (
+	"cdcs/internal/mesh"
+)
+
+// Optimistic is the result of contention-aware optimistic VC placement: a
+// rough picture of where data should live, used to steer thread placement.
+// Claims are relaxed — banks may be over-committed — exactly as in §IV-D.
+type Optimistic struct {
+	// Center[v] is the tile around which VC v was compacted.
+	Center []mesh.Tile
+	// Claims[v] maps banks to the lines VC v claimed there.
+	Claims Assignment
+	// CoM[v] is the fractional center of mass of VC v's claims.
+	CoM []Point
+}
+
+// Point is a fractional tile coordinate.
+type Point struct{ X, Y float64 }
+
+// OptimisticPlace runs the paper's optimistic contention-aware VC placement
+// (§IV-D, Fig. 7): VCs are placed largest-first; for each VC every tile is
+// evaluated as a candidate center by summing the capacity already claimed in
+// the banks its compact footprint would cover, and the least-contended tile
+// wins. Capacity constraints are relaxed (a claim may exceed bank capacity);
+// the refined pass later enforces real capacities.
+func OptimisticPlace(chip Chip, demands []Demand) Optimistic {
+	n := chip.Banks()
+	out := Optimistic{
+		Center: make([]mesh.Tile, len(demands)),
+		Claims: NewAssignment(len(demands)),
+		CoM:    make([]Point, len(demands)),
+	}
+	center := chip.Topo.CenterTile()
+	for v := range out.Center {
+		out.Center[v] = center // zero-size VCs default to the chip center
+		cx, cy := chip.Topo.Coords(center)
+		out.CoM[v] = Point{float64(cx), float64(cy)}
+	}
+
+	claimed := make([]float64, n) // relaxed per-bank claim tally, in lines
+
+	for _, v := range orderBySize(demands) {
+		size := demands[v].Size
+		best := mesh.Tile(0)
+		bestContention := -1.0
+		bestDist := 0
+		for c := 0; c < n; c++ {
+			cont := footprintContention(chip, claimed, mesh.Tile(c), size)
+			dc := chip.Topo.Distance(mesh.Tile(c), center)
+			if bestContention < 0 ||
+				cont < bestContention-1e-9 ||
+				(cont < bestContention+1e-9 && dc < bestDist) {
+				best, bestContention, bestDist = mesh.Tile(c), cont, dc
+			}
+		}
+		out.Center[v] = best
+		// Claim compactly around the chosen center (up to a full bank per
+		// tile, regardless of other VCs' claims: relaxed constraints).
+		remaining := size
+		for _, b := range chip.Topo.ByDistance(best) {
+			take := chip.BankLines
+			if take > remaining {
+				take = remaining
+			}
+			out.Claims[v][b] = take
+			claimed[b] += take
+			remaining -= take
+			if remaining <= 1e-9 {
+				break
+			}
+		}
+		x, y := CenterOfMass(chip, out.Claims[v])
+		out.CoM[v] = Point{x, y}
+	}
+	return out
+}
+
+// footprintContention sums already-claimed capacity over the banks a compact
+// placement of size lines around c would cover, weighting the last,
+// partially covered bank by the fraction needed (Fig. 7b's hatched area).
+func footprintContention(chip Chip, claimed []float64, c mesh.Tile, size float64) float64 {
+	cont := 0.0
+	remaining := size
+	for _, b := range chip.Topo.ByDistance(c) {
+		if remaining <= 1e-9 {
+			break
+		}
+		take := chip.BankLines
+		if take > remaining {
+			take = remaining
+		}
+		cont += claimed[b] * (take / chip.BankLines)
+		remaining -= take
+	}
+	return cont
+}

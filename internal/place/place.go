@@ -1,0 +1,191 @@
+// Package place implements thread and data (virtual-cache) placement on a
+// tiled CMP: the paper's optimistic contention-aware VC placement (§IV-D),
+// center-of-mass thread placement (§IV-E), greedy closest-first data
+// placement and the bounded-spiral trading pass (§IV-F), plus the expensive
+// comparators evaluated in §VI-C (exact transportation solve standing in for
+// ILP, simulated annealing, and recursive-bisection graph partitioning).
+package place
+
+import (
+	"fmt"
+	"sort"
+
+	"cdcs/internal/mesh"
+)
+
+// Chip is the placement substrate: a mesh of tiles, each with one core and
+// one LLC bank of BankLines lines.
+type Chip struct {
+	Topo      *mesh.Topology
+	BankLines float64
+}
+
+// Banks returns the number of banks (== tiles).
+func (c Chip) Banks() int { return c.Topo.Tiles() }
+
+// TotalLines returns chip-wide LLC capacity in lines.
+func (c Chip) TotalLines() float64 { return float64(c.Banks()) * c.BankLines }
+
+// Demand describes one VC to the placement algorithms.
+type Demand struct {
+	// Size is the VC's capacity allocation in lines (from internal/alloc).
+	Size float64
+	// Accessors maps thread index to that thread's access rate into this VC
+	// (any consistent unit; APKI throughout this repo).
+	Accessors map[int]float64
+}
+
+// TotalRate sums accessor rates.
+func (d Demand) TotalRate() float64 {
+	s := 0.0
+	for _, r := range d.Accessors {
+		s += r
+	}
+	return s
+}
+
+// Assignment is a data placement: per VC, lines claimed in each bank.
+type Assignment []map[mesh.Tile]float64
+
+// NewAssignment allocates an empty assignment for n VCs.
+func NewAssignment(n int) Assignment {
+	a := make(Assignment, n)
+	for i := range a {
+		a[i] = map[mesh.Tile]float64{}
+	}
+	return a
+}
+
+// Placed returns the total lines VC v has placed.
+func (a Assignment) Placed(v int) float64 {
+	s := 0.0
+	for _, lines := range a[v] {
+		s += lines
+	}
+	return s
+}
+
+// BankUsage returns per-bank occupied lines across all VCs.
+func (a Assignment) BankUsage(banks int) []float64 {
+	use := make([]float64, banks)
+	for _, m := range a {
+		for b, lines := range m {
+			use[b] += lines
+		}
+	}
+	return use
+}
+
+// Clone deep-copies the assignment.
+func (a Assignment) Clone() Assignment {
+	out := make(Assignment, len(a))
+	for i, m := range a {
+		out[i] = make(map[mesh.Tile]float64, len(m))
+		for b, l := range m {
+			out[i][b] = l
+		}
+	}
+	return out
+}
+
+// Validate checks capacity feasibility and per-VC size consistency within
+// tol lines; it returns the first violation found.
+func (a Assignment) Validate(chip Chip, demands []Demand, tol float64) error {
+	if len(a) != len(demands) {
+		return fmt.Errorf("place: %d assignments for %d demands", len(a), len(demands))
+	}
+	use := a.BankUsage(chip.Banks())
+	for b, u := range use {
+		if u > chip.BankLines+tol {
+			return fmt.Errorf("place: bank %d over capacity: %g > %g", b, u, chip.BankLines)
+		}
+	}
+	for v := range a {
+		for b, l := range a[v] {
+			if l < -tol {
+				return fmt.Errorf("place: VC %d negative allocation %g in bank %d", v, l, b)
+			}
+			if int(b) < 0 || int(b) >= chip.Banks() {
+				return fmt.Errorf("place: VC %d uses invalid bank %d", v, b)
+			}
+		}
+		if placed, want := a.Placed(v), demands[v].Size; placed < want-tol || placed > want+tol {
+			return fmt.Errorf("place: VC %d placed %g lines, want %g", v, placed, want)
+		}
+	}
+	return nil
+}
+
+// VCDistances returns D(vc, bank): the access-weighted mean distance from
+// the VC's accessor threads to each bank (the distance the trade pass and
+// Eq. 2 use). VCs with no accessors measure from the chip center.
+func VCDistances(chip Chip, demands []Demand, threadCore []mesh.Tile) [][]float64 {
+	n := chip.Banks()
+	out := make([][]float64, len(demands))
+	center := chip.Topo.CenterTile()
+	for v, d := range demands {
+		row := make([]float64, n)
+		total := d.TotalRate()
+		for b := 0; b < n; b++ {
+			if total == 0 {
+				row[b] = float64(chip.Topo.Distance(center, mesh.Tile(b)))
+				continue
+			}
+			sum := 0.0
+			for t, rate := range d.Accessors {
+				sum += rate * float64(chip.Topo.Distance(threadCore[t], mesh.Tile(b)))
+			}
+			row[b] = sum / total
+		}
+		out[v] = row
+	}
+	return out
+}
+
+// OnChipLatency evaluates Eq. 2 in access·hops: for every thread and bank,
+// accesses spread in proportion to the VC's per-bank capacity share times
+// the thread-to-bank distance. Scale by hop latency externally.
+func OnChipLatency(chip Chip, demands []Demand, assign Assignment, threadCore []mesh.Tile) float64 {
+	total := 0.0
+	for v, d := range demands {
+		size := assign.Placed(v)
+		if size <= 0 {
+			continue
+		}
+		for b, lines := range assign[v] {
+			frac := lines / size
+			for t, rate := range d.Accessors {
+				total += rate * frac * float64(chip.Topo.Distance(threadCore[t], b))
+			}
+		}
+	}
+	return total
+}
+
+// CenterOfMass returns the fractional-coordinate center of mass of a VC's
+// placed capacity (chip center when nothing is placed).
+func CenterOfMass(chip Chip, alloc map[mesh.Tile]float64) (x, y float64) {
+	w := make(map[mesh.Tile]float64, len(alloc))
+	for b, l := range alloc {
+		w[b] = l
+	}
+	return chip.Topo.CenterOfMass(w)
+}
+
+// orderBySize returns VC indices sorted by descending demand size with
+// deterministic index tie-break, skipping zero-size VCs.
+func orderBySize(demands []Demand) []int {
+	idx := make([]int, 0, len(demands))
+	for i, d := range demands {
+		if d.Size > 0 {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if demands[idx[a]].Size != demands[idx[b]].Size {
+			return demands[idx[a]].Size > demands[idx[b]].Size
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}

@@ -1,0 +1,156 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"cdcs/internal/mesh"
+)
+
+// randomInstance builds a random feasible placement problem on an 8x8 chip.
+func randomInstance(rng *rand.Rand) (Chip, []Demand, []mesh.Tile) {
+	chip := Chip{Topo: mesh.New(8, 8), BankLines: 8192}
+	n := 4 + rng.Intn(24)
+	demands := make([]Demand, n)
+	budget := chip.TotalLines() * 0.9
+	for i := range demands {
+		size := rng.Float64() * budget / float64(n) * 2
+		if size > budget {
+			size = budget
+		}
+		budget -= size
+		demands[i] = Demand{Size: size, Accessors: map[int]float64{i % 64: 5 + rng.Float64()*90}}
+	}
+	threads := RandomThreads(chip, 64, rng.Perm(64))
+	return chip, demands, threads
+}
+
+func TestPropertyGreedyFeasibleAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 60; trial++ {
+		chip, demands, threads := randomInstance(rng)
+		a := Greedy(chip, demands, threads, 512)
+		if err := a.Validate(chip, demands, 1); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestPropertyRefinePreservesFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 60; trial++ {
+		chip, demands, threads := randomInstance(rng)
+		a := Greedy(chip, demands, threads, 512)
+		before := OnChipLatency(chip, demands, a, threads)
+		Refine(chip, demands, a, threads)
+		if err := a.Validate(chip, demands, 1); err != nil {
+			t.Fatalf("trial %d after refine: %v", trial, err)
+		}
+		after := OnChipLatency(chip, demands, a, threads)
+		if after > before+1e-6 {
+			t.Fatalf("trial %d: refine regressed %g -> %g", trial, before, after)
+		}
+	}
+}
+
+func TestPropertyRefineRoundsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	for trial := 0; trial < 20; trial++ {
+		chip, demands, threads := randomInstance(rng)
+		base := Greedy(chip, demands, threads, 512)
+		prev := OnChipLatency(chip, demands, base, threads)
+		for _, rounds := range []int{1, 2, 4} {
+			a := base.Clone()
+			RefineRounds(chip, demands, a, threads, rounds)
+			lat := OnChipLatency(chip, demands, a, threads)
+			if lat > prev+1e-6 {
+				t.Fatalf("trial %d: %d rounds latency %g above previous %g", trial, rounds, lat, prev)
+			}
+			prev = lat
+		}
+	}
+}
+
+func TestPropertyOptimalIsLowerBound(t *testing.T) {
+	// The exact transportation solve lower-bounds greedy, greedy+refine, and
+	// random feasible placements.
+	rng := rand.New(rand.NewSource(204))
+	for trial := 0; trial < 8; trial++ {
+		chip := Chip{Topo: mesh.New(8, 8), BankLines: 8192}
+		n := 8
+		demands := make([]Demand, n)
+		for i := range demands {
+			demands[i] = Demand{
+				Size:      float64(1+rng.Intn(4)) * 4096,
+				Accessors: map[int]float64{i: 5 + rng.Float64()*90},
+			}
+		}
+		threads := RandomThreads(chip, n, rng.Perm(64))
+		opt := OptimalTransport(chip, demands, threads, 512)
+		optLat := OnChipLatency(chip, demands, opt, threads)
+
+		greedy := Greedy(chip, demands, threads, 512)
+		if optLat > OnChipLatency(chip, demands, greedy, threads)+1e-6 {
+			t.Fatalf("trial %d: optimal above greedy", trial)
+		}
+		Refine(chip, demands, greedy, threads)
+		if optLat > OnChipLatency(chip, demands, greedy, threads)+1e-6 {
+			t.Fatalf("trial %d: optimal above greedy+refine", trial)
+		}
+	}
+}
+
+func TestPropertyOptimisticClaimsMatchSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(205))
+	for trial := 0; trial < 60; trial++ {
+		chip, demands, _ := randomInstance(rng)
+		opt := OptimisticPlace(chip, demands)
+		for v := range demands {
+			if got := opt.Claims.Placed(v); got < demands[v].Size-1 || got > demands[v].Size+1 {
+				t.Fatalf("trial %d: VC %d claimed %g of %g", trial, v, got, demands[v].Size)
+			}
+			// Per-bank claims never exceed a bank (per-VC).
+			for b, lines := range opt.Claims[v] {
+				if lines > chip.BankLines+1e-9 {
+					t.Fatalf("trial %d: VC %d claims %g in bank %d", trial, v, lines, b)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyPlaceThreadsBijective(t *testing.T) {
+	rng := rand.New(rand.NewSource(206))
+	for trial := 0; trial < 40; trial++ {
+		chip, demands, _ := randomInstance(rng)
+		opt := OptimisticPlace(chip, demands)
+		nThreads := 1 + rng.Intn(64)
+		cores := PlaceThreads(chip, demands, opt, nThreads)
+		seen := map[mesh.Tile]bool{}
+		for _, c := range cores {
+			if seen[c] {
+				t.Fatalf("trial %d: core %d reused", trial, c)
+			}
+			if int(c) < 0 || int(c) >= chip.Banks() {
+				t.Fatalf("trial %d: core %d out of range", trial, c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestPropertyAnnealNeverWorseThanStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(207))
+	for trial := 0; trial < 10; trial++ {
+		chip, demands, threads := randomInstance(rng)
+		a := Greedy(chip, demands, threads, 512)
+		before := OnChipLatency(chip, demands, a, threads)
+		improved, _ := AnnealThreads(chip, demands, a, threads, 2000, rng)
+		after := OnChipLatency(chip, demands, a, improved)
+		// Annealing keeps the best-so-far implicitly via cooling; allow a
+		// tiny tolerance for late accepted uphill moves.
+		if after > before*1.05+1e-6 {
+			t.Fatalf("trial %d: annealing regressed %g -> %g", trial, before, after)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package place
+
+import (
+	"sort"
+
+	"cdcs/internal/mesh"
+)
+
+// Refine performs the paper's refined VC placement (§IV-F, Fig. 8): starting
+// from a greedy placement, each VC spirals outward from its center of mass
+// looking at its own data; banks where the VC could hold more data are
+// "desirable"; data sitting farther out is offered in trades against VCs
+// occupying closer desirable banks. A trade executes only when the summed
+// latency change (weighted by each VC's accesses per byte) is negative, so
+// total on-chip latency is non-increasing. Each VC trades once, in index
+// order — the paper found one pass discovers most beneficial trades.
+//
+// The assignment is modified in place; Refine reports the number of executed
+// trades and the total Eq. 2 latency change (≤ 0).
+func Refine(chip Chip, demands []Demand, assign Assignment, threadCore []mesh.Tile) (trades int, delta float64) {
+	dist := VCDistances(chip, demands, threadCore)
+	used := assign.BankUsage(chip.Banks())
+
+	// accPerLine[v] = accesses per line of allocated capacity: the weight
+	// that converts moved capacity into latency change.
+	accPerLine := make([]float64, len(demands))
+	for v, d := range demands {
+		if size := assign.Placed(v); size > 0 {
+			accPerLine[v] = d.TotalRate() / size
+		}
+	}
+	// residents[b] lists VCs with data in bank b (kept fresh lazily).
+	residents := make([][]int, chip.Banks())
+	for v := range assign {
+		for b, lines := range assign[v] {
+			if lines > 1e-9 {
+				residents[b] = append(residents[b], v)
+			}
+		}
+	}
+
+	for v := range demands {
+		if demands[v].Size <= 0 || accPerLine[v] == 0 {
+			continue
+		}
+		size := assign.Placed(v)
+		if size <= 1e-9 {
+			continue
+		}
+		// Spiral from the VC's preferred location: the rate-weighted center
+		// of its accessor threads. (The paper spirals from the VC's center
+		// of mass; after greedy placement both coincide, but the accessor
+		// center also handles degenerate starts where all data is remote.)
+		com := preferredCenter(chip, demands[v], assign[v], threadCore)
+
+		type desirable struct {
+			bank mesh.Tile
+			d    float64
+		}
+		var desirables []desirable
+		seen := 0.0
+
+		for _, b := range chip.Topo.ByDistance(com) {
+			have := assign[v][b]
+			if have < chip.BankLines-1e-9 {
+				desirables = append(desirables, desirable{b, dist[v][b]})
+			}
+			if have <= 1e-9 {
+				continue
+			}
+			seen += have
+			// Try to move v's data in b into closer desirable banks.
+			sort.SliceStable(desirables, func(i, j int) bool {
+				if desirables[i].d != desirables[j].d {
+					return desirables[i].d < desirables[j].d
+				}
+				return desirables[i].bank < desirables[j].bank
+			})
+			for _, cand := range desirables {
+				if assign[v][b] <= 1e-9 {
+					break
+				}
+				if cand.d >= dist[v][b]-1e-12 {
+					break // sorted: no closer candidates remain
+				}
+				moveGain := accPerLine[v] * (cand.d - dist[v][b]) // < 0
+
+				// Free space first: a move into unclaimed capacity has no
+				// counterparty and always helps.
+				if room := chip.BankLines - used[cand.bank]; room > 1e-9 {
+					m := minF(assign[v][b], room)
+					moveCapacity(assign, used, residents, v, b, cand.bank, m)
+					trades++
+					delta += moveGain * m
+					if assign[v][b] <= 1e-9 {
+						continue
+					}
+				}
+				// Offer trades to resident VCs.
+				for _, u := range residents[cand.bank] {
+					if u == v || assign[u][cand.bank] <= 1e-9 {
+						continue
+					}
+					if assign[v][b] <= 1e-9 {
+						break
+					}
+					gainU := accPerLine[u] * (dist[u][b] - dist[u][cand.bank])
+					if moveGain+gainU >= -1e-12 {
+						continue
+					}
+					m := minF(assign[v][b], assign[u][cand.bank])
+					// Swap m lines: v moves b→cand, u moves cand→b.
+					assign[v][b] -= m
+					assign[v][cand.bank] += m
+					assign[u][cand.bank] -= m
+					assign[u][b] += m
+					addResident(residents, cand.bank, v)
+					addResident(residents, b, u)
+					trades++
+					delta += (moveGain + gainU) * m
+				}
+			}
+			if seen >= size-1e-9 {
+				break // the spiral has seen all of v's data
+			}
+		}
+	}
+	return trades, delta
+}
+
+// RefineRounds runs the trade pass repeatedly (the paper trades once per VC
+// per reconfiguration, having found empirically that one pass discovers most
+// trades; this wrapper exists to reproduce that ablation). Returns total
+// trades and latency change, stopping early once a round finds nothing.
+func RefineRounds(chip Chip, demands []Demand, assign Assignment, threadCore []mesh.Tile, rounds int) (trades int, delta float64) {
+	for r := 0; r < rounds; r++ {
+		tr, d := Refine(chip, demands, assign, threadCore)
+		trades += tr
+		delta += d
+		if tr == 0 {
+			break
+		}
+	}
+	return trades, delta
+}
+
+// preferredCenter returns the tile a VC's data would ideally cluster around:
+// the rate-weighted center of its accessors, falling back to the data's own
+// center of mass for accessorless VCs.
+func preferredCenter(chip Chip, d Demand, alloc map[mesh.Tile]float64, threadCore []mesh.Tile) mesh.Tile {
+	if d.TotalRate() > 0 {
+		w := make(map[mesh.Tile]float64, len(d.Accessors))
+		for t, rate := range d.Accessors {
+			w[threadCore[t]] += rate
+		}
+		x, y := chip.Topo.CenterOfMass(w)
+		return chip.Topo.NearestTile(x, y)
+	}
+	x, y := CenterOfMass(chip, alloc)
+	return chip.Topo.NearestTile(x, y)
+}
+
+// moveCapacity moves m lines of VC v from bank b to free space in bank nb.
+func moveCapacity(assign Assignment, used []float64, residents [][]int, v int, b, nb mesh.Tile, m float64) {
+	assign[v][b] -= m
+	assign[v][nb] += m
+	used[b] -= m
+	used[nb] += m
+	addResident(residents, nb, v)
+}
+
+// addResident registers VC v in bank b's resident list if absent.
+func addResident(residents [][]int, b mesh.Tile, v int) {
+	for _, u := range residents[b] {
+		if u == v {
+			return
+		}
+	}
+	residents[b] = append(residents[b], v)
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

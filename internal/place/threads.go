@@ -1,0 +1,110 @@
+package place
+
+import (
+	"sort"
+
+	"cdcs/internal/mesh"
+)
+
+// PlaceThreads implements §IV-E: each thread is placed as close as possible
+// to the access-weighted center of mass of the VCs it uses (per the
+// optimistic placement), in descending intensity×capacity order so the
+// threads for which locality matters most — and whose data is hardest to
+// move — pick cores first. Returns thread→core, one thread per core.
+//
+// nThreads may be smaller than the core count (under-committed systems);
+// unused cores stay empty.
+func PlaceThreads(chip Chip, demands []Demand, opt Optimistic, nThreads int) []mesh.Tile {
+	type ti struct {
+		id       int
+		priority float64 // Σ_d rate × size
+		comX     float64
+		comY     float64
+	}
+	infos := make([]ti, nThreads)
+	for t := 0; t < nThreads; t++ {
+		infos[t].id = t
+	}
+	// Accumulate per-thread priority and center of mass over accessed VCs.
+	type acc struct {
+		wx, wy, w float64
+	}
+	coms := make([]acc, nThreads)
+	for v, d := range demands {
+		for t, rate := range d.Accessors {
+			if t >= nThreads {
+				continue
+			}
+			infos[t].priority += rate * d.Size
+			// Weight VC centers by the thread's access rate; VCs with zero
+			// allocated size still pull mildly so milc-like threads have a
+			// defined (if weak) preference.
+			w := rate * (d.Size + 1)
+			coms[t].wx += w * opt.CoM[v].X
+			coms[t].wy += w * opt.CoM[v].Y
+			coms[t].w += w
+		}
+	}
+	ccx, ccy := chip.Topo.Coords(chip.Topo.CenterTile())
+	for t := range infos {
+		if coms[t].w > 0 {
+			infos[t].comX = coms[t].wx / coms[t].w
+			infos[t].comY = coms[t].wy / coms[t].w
+		} else {
+			infos[t].comX, infos[t].comY = float64(ccx), float64(ccy)
+		}
+	}
+	sort.SliceStable(infos, func(i, j int) bool {
+		if infos[i].priority != infos[j].priority {
+			return infos[i].priority > infos[j].priority
+		}
+		return infos[i].id < infos[j].id
+	})
+
+	free := make([]bool, chip.Banks())
+	for i := range free {
+		free[i] = true
+	}
+	out := make([]mesh.Tile, nThreads)
+	for _, info := range infos {
+		best := -1
+		bestDist := 0.0
+		for c := 0; c < chip.Banks(); c++ {
+			if !free[c] {
+				continue
+			}
+			d := chip.Topo.DistanceToPoint(mesh.Tile(c), info.comX, info.comY)
+			if best < 0 || d < bestDist-1e-12 {
+				best, bestDist = c, d
+			}
+		}
+		if best < 0 {
+			// More threads than cores is a configuration error upstream.
+			panic("place: more threads than cores")
+		}
+		free[best] = false
+		out[info.id] = mesh.Tile(best)
+	}
+	return out
+}
+
+// ClusteredThreads packs threads onto cores in index order (tile 0, 1, 2…):
+// the "clustered" scheduler of §II-B/§VI (Jigsaw+C) that groups instances of
+// the same process next to each other.
+func ClusteredThreads(chip Chip, nThreads int) []mesh.Tile {
+	out := make([]mesh.Tile, nThreads)
+	for t := 0; t < nThreads; t++ {
+		out[t] = mesh.Tile(t % chip.Banks())
+	}
+	return out
+}
+
+// RandomThreads places threads on distinct random cores (Jigsaw+R): the rng
+// must be seeded by the caller for reproducibility.
+func RandomThreads(chip Chip, nThreads int, perm []int) []mesh.Tile {
+	out := make([]mesh.Tile, nThreads)
+	for t := 0; t < nThreads; t++ {
+		out[t] = mesh.Tile(perm[t%len(perm)])
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package policy
+
+import (
+	"cdcs/internal/mesh"
+	"cdcs/internal/workload"
+)
+
+// buildRNUCA models R-NUCA's class-based placement: thread-private data maps
+// to the thread's local bank (zero network distance), and shared data is
+// spread across the whole chip. Capacity is unmanaged — each bank is an
+// LRU pool contended by its local thread's private data and an equal slice
+// of all shared data — which is exactly why R-NUCA underperforms partitioned
+// schemes on heterogeneous mixes (§II-B: omnet needs 2.5MB but only ever
+// sees its 512KB local bank).
+func buildRNUCA(env Env, mix *workload.Mix, threads []mesh.Tile) (Sched, error) {
+	nBanks := env.Chip.Banks()
+	bankLines := env.Chip.BankLines
+
+	// Private VC of the thread on each tile (at most one thread per core).
+	privAt := make([]int, nBanks)
+	for i := range privAt {
+		privAt[i] = -1
+	}
+	for t := range mix.Threads {
+		for v, apki := range mix.Threads[t].Access {
+			if mix.VCs[v].Kind == workload.ThreadPrivate && apki > 0 {
+				privAt[threads[t]] = v
+			}
+		}
+	}
+	var sharedVCs []int
+	for v := range mix.VCs {
+		if mix.VCs[v].Kind == workload.ProcessShared {
+			sharedVCs = append(sharedVCs, v)
+		}
+	}
+
+	sizes := make([]float64, len(mix.VCs))
+	ratios := make([]float64, len(mix.VCs))
+	// Initial guess: private VCs get a bank, shared split the rest evenly.
+	for b := 0; b < nBanks; b++ {
+		if v := privAt[b]; v >= 0 {
+			sizes[v] = bankLines
+		}
+	}
+	for _, v := range sharedVCs {
+		sizes[v] = bankLines * float64(nBanks) / float64(len(sharedVCs)+1)
+	}
+
+	// Global fixed point: each bank splits LRU-proportionally between its
+	// local private stream and 1/N of every shared stream.
+	for iter := 0; iter < 100; iter++ {
+		for v := range mix.VCs {
+			ratios[v] = mix.VCs[v].MissRatio.Eval(sizes[v])
+		}
+		sharedTotal := make(map[int]float64, len(sharedVCs))
+		maxDelta := 0.0
+		for b := 0; b < nBanks; b++ {
+			pv := privAt[b]
+			wPriv := 0.0
+			if pv >= 0 {
+				wPriv = mix.VCs[pv].TotalAPKI()*ratios[pv] + 1e-3
+			}
+			wShared := make([]float64, len(sharedVCs))
+			total := wPriv
+			for i, v := range sharedVCs {
+				wShared[i] = (mix.VCs[v].TotalAPKI()*ratios[v] + 1e-3) / float64(nBanks)
+				total += wShared[i]
+			}
+			if total <= 0 {
+				continue
+			}
+			if pv >= 0 {
+				target := bankLines * wPriv / total
+				if max := mix.VCs[pv].MissRatio.MaxX(); target > max {
+					target = max
+				}
+				next := 0.5*sizes[pv] + 0.5*target
+				if d := abs(next - sizes[pv]); d > maxDelta {
+					maxDelta = d
+				}
+				sizes[pv] = next
+			}
+			for i, v := range sharedVCs {
+				sharedTotal[v] += bankLines * wShared[i] / total
+			}
+		}
+		for _, v := range sharedVCs {
+			target := sharedTotal[v]
+			if max := mix.VCs[v].MissRatio.MaxX(); target > max {
+				target = max
+			}
+			next := 0.5*sizes[v] + 0.5*target
+			if d := abs(next - sizes[v]); d > maxDelta {
+				maxDelta = d
+			}
+			sizes[v] = next
+		}
+		if maxDelta < 1 {
+			break
+		}
+	}
+	for v := range mix.VCs {
+		ratios[v] = mix.VCs[v].MissRatio.Eval(sizes[v])
+	}
+
+	// Distances: private data is local; shared data is uniformly spread.
+	n := env.Chip.Banks()
+	meanFrom := make([]float64, n)
+	meanMem := 0.0
+	for b := 0; b < n; b++ {
+		meanMem += env.Chip.Topo.AvgMemDistance(mesh.Tile(b))
+	}
+	meanMem /= float64(n)
+	for c := 0; c < n; c++ {
+		sum := 0.0
+		for b := 0; b < n; b++ {
+			sum += float64(env.Chip.Topo.Distance(mesh.Tile(c), mesh.Tile(b)))
+		}
+		meanFrom[c] = sum / float64(n)
+	}
+
+	sched := Sched{
+		Name:       "R-NUCA",
+		ThreadCore: threads,
+		VCSizes:    sizes,
+		VCRatios:   ratios,
+	}
+	sched.Inputs = buildInputs(env, mix, threads, ratios, func(t, v int) (float64, float64) {
+		if mix.VCs[v].Kind == workload.ThreadPrivate {
+			return 0, env.Chip.Topo.AvgMemDistance(threads[t])
+		}
+		return meanFrom[threads[t]], meanMem
+	})
+	return sched, nil
+}

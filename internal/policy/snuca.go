@@ -1,0 +1,103 @@
+package policy
+
+import (
+	"cdcs/internal/mesh"
+	"cdcs/internal/workload"
+)
+
+// buildSNUCA models a static NUCA: every VC's lines are spread over all
+// banks by the line-bank hash, so every access travels the mean core-to-bank
+// distance, and all VCs contend for the whole LLC under shared LRU.
+func buildSNUCA(env Env, mix *workload.Mix, threads []mesh.Tile) (Sched, error) {
+	sizes, ratios := sharedLRUFixedPoint(mix.VCs, nil, env.Chip.TotalLines())
+
+	// Mean distance from each core to a uniformly hashed bank.
+	n := env.Chip.Banks()
+	meanFrom := make([]float64, n)
+	meanMem := 0.0
+	for b := 0; b < n; b++ {
+		meanMem += env.Chip.Topo.AvgMemDistance(mesh.Tile(b))
+	}
+	meanMem /= float64(n)
+	for c := 0; c < n; c++ {
+		sum := 0.0
+		for b := 0; b < n; b++ {
+			sum += float64(env.Chip.Topo.Distance(mesh.Tile(c), mesh.Tile(b)))
+		}
+		meanFrom[c] = sum / float64(n)
+	}
+
+	sched := Sched{
+		Name:       "S-NUCA",
+		ThreadCore: threads,
+		VCSizes:    sizes,
+		VCRatios:   ratios,
+	}
+	sched.Inputs = buildInputs(env, mix, threads, ratios, func(t, v int) (float64, float64) {
+		return meanFrom[threads[t]], meanMem
+	})
+	return sched, nil
+}
+
+// sharedLRUFixedPoint models VCs contending for a shared LRU pool of
+// capacity lines: steady-state occupancy is proportional to insertion rate
+// (miss rate × access intensity), which is the classic shared-cache
+// occupancy model. restrict optionally limits which VCs participate (nil =
+// all); excluded VCs get zero. Returns per-VC sizes and effective ratios.
+func sharedLRUFixedPoint(vcs []workload.VC, include func(int) bool, capacity float64) (sizes, ratios []float64) {
+	n := len(vcs)
+	sizes = make([]float64, n)
+	ratios = make([]float64, n)
+	active := make([]int, 0, n)
+	for v := range vcs {
+		if include == nil || include(v) {
+			active = append(active, v)
+		}
+	}
+	if len(active) == 0 {
+		return sizes, ratios
+	}
+	// Start from an equal split; iterate occupancy ∝ insertion rate.
+	for _, v := range active {
+		sizes[v] = capacity / float64(len(active))
+	}
+	for iter := 0; iter < 100; iter++ {
+		totalW := 0.0
+		ws := make([]float64, len(active))
+		for i, v := range active {
+			r := vcs[v].MissRatio.Eval(sizes[v])
+			// Small floor keeps fully-fitting VCs resident (they still own
+			// their working set even with near-zero insertions).
+			w := vcs[v].TotalAPKI()*r + 1e-3
+			ws[i] = w
+			totalW += w
+		}
+		maxDelta := 0.0
+		for i, v := range active {
+			target := capacity * ws[i] / totalW
+			// A VC never needs more than its curve domain.
+			if max := vcs[v].MissRatio.MaxX(); target > max {
+				target = max
+			}
+			next := 0.5*sizes[v] + 0.5*target
+			if d := abs(next - sizes[v]); d > maxDelta {
+				maxDelta = d
+			}
+			sizes[v] = next
+		}
+		if maxDelta < 1 {
+			break
+		}
+	}
+	for _, v := range active {
+		ratios[v] = vcs[v].MissRatio.Eval(sizes[v])
+	}
+	return sizes, ratios
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

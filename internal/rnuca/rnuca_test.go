@@ -1,0 +1,203 @@
+package rnuca
+
+import (
+	"math/rand"
+	"testing"
+
+	"cdcs/internal/cachesim"
+	"cdcs/internal/mesh"
+)
+
+func newRT() *Runtime {
+	return New(mesh.New(8, 8))
+}
+
+func TestPageOf(t *testing.T) {
+	if PageOf(0) != 0 || PageOf(63) != 0 || PageOf(64) != 1 {
+		t.Error("PageOf boundaries wrong (64 lines per page)")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	want := map[Class]string{
+		Unknown: "unknown", PrivateData: "private",
+		SharedData: "shared", Instruction: "instruction",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Class(%d).String()=%q, want %q", c, c.String(), s)
+		}
+	}
+}
+
+func TestFirstTouchIsPrivateAndLocal(t *testing.T) {
+	r := newRT()
+	bank := r.Access(13, 1000, false)
+	if bank != mesh.Tile(13) {
+		t.Errorf("private page homed at %d, want owner 13", bank)
+	}
+	if cl := r.ClassOf(PageOf(1000)); cl != PrivateData {
+		t.Errorf("class %v, want private", cl)
+	}
+	if r.OwnerOf(PageOf(1000)) != 13 {
+		t.Error("owner wrong")
+	}
+	if r.Stats.FirstTouches != 1 {
+		t.Errorf("first touches %d", r.Stats.FirstTouches)
+	}
+}
+
+func TestOwnerRepeatedAccessStaysPrivate(t *testing.T) {
+	r := newRT()
+	for i := 0; i < 100; i++ {
+		r.Access(5, cachesim.Addr(i), false) // all in pages 0-1
+	}
+	if r.Stats.Reclassifications != 0 {
+		t.Error("owner-only accesses caused reclassification")
+	}
+	if cl := r.ClassOf(0); cl != PrivateData {
+		t.Errorf("class %v", cl)
+	}
+}
+
+func TestSecondCoreReclassifiesToShared(t *testing.T) {
+	r := newRT()
+	r.Access(3, 500, false)
+	bank := r.Access(9, 500, false)
+	if cl := r.ClassOf(PageOf(500)); cl != SharedData {
+		t.Errorf("class %v after second core, want shared", cl)
+	}
+	if r.Stats.Reclassifications != 1 || r.Stats.Shootdowns != 1 {
+		t.Errorf("reclass/shootdown counts: %+v", r.Stats)
+	}
+	_ = bank
+	// Further accesses by anyone keep it shared (no more shootdowns).
+	r.Access(3, 500, false)
+	r.Access(30, 500, false)
+	if r.Stats.Shootdowns != 1 {
+		t.Error("extra shootdowns on already-shared page")
+	}
+}
+
+func TestSharedPagesInterleaveChipWide(t *testing.T) {
+	r := newRT()
+	// Make one page shared, then check its lines spread over many banks.
+	r.Access(0, 0, false)
+	r.Access(1, 0, false)
+	banks := map[mesh.Tile]bool{}
+	for i := 0; i < 64; i++ {
+		banks[r.Access(0, cachesim.Addr(i), false)] = true
+	}
+	if len(banks) < 24 {
+		t.Errorf("shared page lines hit only %d banks, want wide spread", len(banks))
+	}
+}
+
+func TestInstructionPagesUseCluster(t *testing.T) {
+	r := newRT()
+	core := 27 // interior tile
+	cluster := r.Cluster(core)
+	if len(cluster) != 4 {
+		t.Fatalf("cluster size %d, want 4", len(cluster))
+	}
+	inCluster := map[mesh.Tile]bool{}
+	for _, b := range cluster {
+		inCluster[b] = true
+	}
+	for i := 0; i < 256; i++ {
+		bank := r.Access(core, cachesim.Addr(1<<20+i), true)
+		if !inCluster[bank] {
+			t.Fatalf("instruction line homed at %d outside cluster %v", bank, cluster)
+		}
+	}
+	// Every cluster bank is within 1 hop of the core (rotational
+	// interleaving keeps code close).
+	topo := mesh.New(8, 8)
+	for _, b := range cluster {
+		if topo.Distance(mesh.Tile(core), b) > 1 {
+			t.Errorf("cluster bank %d is %d hops away", b, topo.Distance(mesh.Tile(core), b))
+		}
+	}
+}
+
+func TestInstructionPagesNotReclassified(t *testing.T) {
+	r := newRT()
+	r.Access(0, 1<<20, true)
+	r.Access(5, 1<<20, true)
+	if cl := r.ClassOf(PageOf(1 << 20)); cl != Instruction {
+		t.Errorf("instruction page became %v", cl)
+	}
+	if r.Stats.Reclassifications != 0 {
+		t.Error("instruction sharing caused reclassification")
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	r := newRT()
+	r.Access(0, 0, false)    // private page 0
+	r.Access(1, 64, false)   // private page 1
+	r.Access(2, 64, false)   // page 1 -> shared
+	r.Access(0, 1<<20, true) // instruction page
+	counts := r.ClassCounts()
+	if counts[PrivateData] != 1 || counts[SharedData] != 1 || counts[Instruction] != 1 {
+		t.Errorf("class counts %v", counts)
+	}
+	if r.Pages() != 3 {
+		t.Errorf("pages %d, want 3", r.Pages())
+	}
+}
+
+func TestUnknownPage(t *testing.T) {
+	r := newRT()
+	if r.ClassOf(999) != Unknown || r.OwnerOf(999) != -1 {
+		t.Error("untouched page not Unknown")
+	}
+}
+
+func TestDeterministicPlacement(t *testing.T) {
+	r1, r2 := newRT(), newRT()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		core := rng.Intn(64)
+		addr := cachesim.Addr(rng.Intn(1 << 16))
+		isInstr := rng.Intn(8) == 0
+		if r1.Access(core, addr, isInstr) != r2.Access(core, addr, isInstr) {
+			t.Fatalf("placement diverged at op %d", i)
+		}
+	}
+}
+
+func TestPrivateWorkloadMostlyLocal(t *testing.T) {
+	// The §II-B claim: with per-thread private working sets, nearly all
+	// R-NUCA accesses are local-bank hits in placement terms.
+	r := newRT()
+	local, total := 0, 0
+	for core := 0; core < 64; core++ {
+		base := cachesim.Addr(core) << 20
+		for i := 0; i < 500; i++ {
+			bank := r.Access(core, base+cachesim.Addr(i), false)
+			if bank == mesh.Tile(core) {
+				local++
+			}
+			total++
+		}
+	}
+	if frac := float64(local) / float64(total); frac < 0.99 {
+		t.Errorf("private accesses local fraction %.3f, want ~1", frac)
+	}
+}
+
+func TestCornerCoreClusterClamped(t *testing.T) {
+	// Corner tiles still get a 4-bank cluster (nearest neighbours).
+	r := newRT()
+	cl := r.Cluster(0)
+	if len(cl) != 4 {
+		t.Fatalf("corner cluster size %d", len(cl))
+	}
+	topo := mesh.New(8, 8)
+	for _, b := range cl {
+		if topo.Distance(0, b) > 2 {
+			t.Errorf("corner cluster bank %d too far (%d hops)", b, topo.Distance(0, b))
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// MoveScheme selects how a reconfiguration migrates LLC contents (§IV-H,
+// Figs. 17-18).
+type MoveScheme int
+
+const (
+	// InstantMoves is the idealized scheme: lines teleport to their new
+	// banks at reconfiguration time.
+	InstantMoves MoveScheme = iota
+	// BackgroundInvs is CDCS: demand moves plus a background invalidation
+	// walk; cores never pause.
+	BackgroundInvs
+	// BulkInvs is Jigsaw: cores pause while banks walk their arrays and
+	// invalidate relocated lines, which then refill from memory.
+	BulkInvs
+)
+
+// String names the scheme.
+func (m MoveScheme) String() string {
+	switch m {
+	case InstantMoves:
+		return "instant-moves"
+	case BackgroundInvs:
+		return "background-invs"
+	case BulkInvs:
+		return "bulk-invs"
+	}
+	return fmt.Sprintf("MoveScheme(%d)", int(m))
+}
+
+// ReconfigParams describes the chip state around one reconfiguration.
+type ReconfigParams struct {
+	// Cores on the chip.
+	Cores int
+	// SteadyIPC is per-core steady-state IPC.
+	SteadyIPC float64
+	// APKI is mean LLC accesses per kilo-instruction per core.
+	APKI float64
+	// HitRatio is the steady-state LLC hit ratio.
+	HitRatio float64
+	// MovedFraction is the fraction of cached lines whose home changed.
+	MovedFraction float64
+	// MemLatency is the effective miss penalty in cycles.
+	MemLatency float64
+	// ExtraLookupCycles is the added latency of the two-level lookup when a
+	// moved line misses its new bank (old-bank forward + move response).
+	ExtraLookupCycles float64
+	// PauseCycles is the bulk-invalidation pause (paper: 114K average, up to
+	// 230K on 64 cores).
+	PauseCycles float64
+	// BGDelayCycles is how long demand moves run before the background walk
+	// starts (paper example: 50K).
+	BGDelayCycles float64
+	// BGWalkCycles is the background walk duration (paper example: 100K at
+	// one set per 200 cycles).
+	BGWalkCycles float64
+	// RefillTau is the time constant (cycles) for refilling bulk-invalidated
+	// working sets from memory.
+	RefillTau float64
+}
+
+// DefaultReconfigParams returns constants matching the paper's examples.
+func DefaultReconfigParams() ReconfigParams {
+	return ReconfigParams{
+		Cores:             64,
+		SteadyIPC:         0.65,
+		APKI:              25,
+		HitRatio:          0.6,
+		MovedFraction:     0.5,
+		MemLatency:        130,
+		ExtraLookupCycles: 40,
+		PauseCycles:       114000,
+		BGDelayCycles:     50000,
+		BGWalkCycles:      100000,
+		RefillTau:         250000,
+	}
+}
+
+// IPCPoint is one sample of the aggregate-IPC trace.
+type IPCPoint struct {
+	// Cycle is the sample time.
+	Cycle float64
+	// AggIPC is chip-wide instructions per cycle.
+	AggIPC float64
+}
+
+// SimulateReconfig produces the aggregate IPC trace around one
+// reconfiguration (Fig. 17): the window covers [0, windowCycles) with the
+// reconfiguration at reconfigAt, sampled every bucketCycles.
+func SimulateReconfig(p ReconfigParams, scheme MoveScheme, windowCycles, reconfigAt, bucketCycles float64) []IPCPoint {
+	if bucketCycles <= 0 || windowCycles <= 0 {
+		panic("sim: invalid reconfig window")
+	}
+	var out []IPCPoint
+	for t := 0.0; t < windowCycles; t += bucketCycles {
+		out = append(out, IPCPoint{Cycle: t, AggIPC: float64(p.Cores) * instIPC(p, scheme, t-reconfigAt)})
+	}
+	return out
+}
+
+// instIPC returns per-core IPC at time dt relative to the reconfiguration
+// (negative = before).
+func instIPC(p ReconfigParams, scheme MoveScheme, dt float64) float64 {
+	if dt < 0 {
+		return p.SteadyIPC
+	}
+	steadyCPI := 1 / p.SteadyIPC
+	switch scheme {
+	case InstantMoves:
+		return p.SteadyIPC
+	case BulkInvs:
+		if dt < p.PauseCycles {
+			return 0 // chip paused during the tag walk
+		}
+		// Relocated lines were invalidated: extra misses decay as working
+		// sets refill from memory.
+		extraMissRatio := p.HitRatio * p.MovedFraction * math.Exp(-(dt-p.PauseCycles)/p.RefillTau)
+		cpi := steadyCPI + p.APKI/1000*extraMissRatio*p.MemLatency
+		return 1 / cpi
+	case BackgroundInvs:
+		// Unmigrated moved lines add a two-level lookup penalty; demand
+		// moves migrate hot lines quickly (time constant set by the access
+		// rate), and the background walk clears the rest without a pause.
+		demandTau := 30000.0
+		unmigrated := p.MovedFraction * math.Exp(-dt/demandTau)
+		walkEnd := p.BGDelayCycles + p.BGWalkCycles
+		if dt > walkEnd {
+			unmigrated = 0
+		}
+		extraLookup := p.APKI / 1000 * p.HitRatio * unmigrated * p.ExtraLookupCycles
+		// Cold moved lines invalidated by the walk refetch lazily: a small
+		// extra-miss term while and shortly after the walk runs.
+		extraMiss := 0.0
+		if dt > p.BGDelayCycles {
+			coldFrac := 0.25 * p.MovedFraction * math.Exp(-(dt-p.BGDelayCycles)/p.RefillTau)
+			extraMiss = p.APKI / 1000 * p.HitRatio * coldFrac * p.MemLatency * 0.2
+		}
+		cpi := steadyCPI + extraLookup + extraMiss
+		return 1 / cpi
+	}
+	return p.SteadyIPC
+}
+
+// ReconfigPenalty integrates the IPC loss of one reconfiguration in
+// equivalent lost cycles (per core): ∫ (1 - IPC(t)/steady) dt.
+func ReconfigPenalty(p ReconfigParams, scheme MoveScheme) float64 {
+	const step = 1000.0
+	horizon := 3 * (p.PauseCycles + p.RefillTau + p.BGDelayCycles + p.BGWalkCycles)
+	lost := 0.0
+	for dt := 0.0; dt < horizon; dt += step {
+		lost += (1 - instIPC(p, scheme, dt)/p.SteadyIPC) * step
+	}
+	return lost
+}
+
+// EffectiveWS scales a steady-state weighted speedup by the reconfiguration
+// overhead at a given period (Fig. 18's x-axis: 10M-100M cycles).
+func EffectiveWS(steadyWS float64, p ReconfigParams, scheme MoveScheme, periodCycles float64) float64 {
+	penalty := ReconfigPenalty(p, scheme)
+	frac := penalty / periodCycles
+	if frac > 0.5 {
+		frac = 0.5
+	}
+	return steadyWS * (1 - frac)
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !eq(got, c.want) {
+			t.Errorf("Mean(%v)=%g, want %g", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); !eq(got, 2) {
+		t.Errorf("GeoMean(1,4)=%g, want 2", got)
+	}
+	if got := GeoMean([]float64{2, 2, 2}); !eq(got, 2) {
+		t.Errorf("GeoMean(2,2,2)=%g, want 2", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil)=%g, want 0", got)
+	}
+	// GeoMean <= Mean (AM-GM).
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		xs := make([]float64, 10)
+		for j := range xs {
+			xs[j] = rng.Float64()*10 + 0.1
+		}
+		if GeoMean(xs) > Mean(xs)+1e-12 {
+			t.Fatalf("AM-GM violated: gm=%g am=%g", GeoMean(xs), Mean(xs))
+		}
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("GeoMean(0) did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestStdDevAndCI(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !within(got, 2.138, 0.01) {
+		t.Errorf("StdDev=%g, want ~2.138", got)
+	}
+	if StdDev([]float64{3}) != 0 || StdDev(nil) != 0 {
+		t.Error("StdDev of <2 samples should be 0")
+	}
+	// CI shrinks with sqrt(n).
+	xs := make([]float64, 100)
+	rng := rand.New(rand.NewSource(2))
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	ci100 := CI95(xs)
+	ci25 := CI95(xs[:25])
+	if ci100 >= ci25 {
+		t.Errorf("CI95 did not shrink with n: %g (n=100) vs %g (n=25)", ci100, ci25)
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	// Two apps: one 2x faster, one unchanged -> WS 1.5.
+	ws := WeightedSpeedup([]float64{2, 1}, []float64{1, 1})
+	if !eq(ws, 1.5) {
+		t.Errorf("WS=%g, want 1.5", ws)
+	}
+	// Identity.
+	if ws := WeightedSpeedup([]float64{3, 4}, []float64{3, 4}); !eq(ws, 1) {
+		t.Errorf("identity WS=%g", ws)
+	}
+	if ws := WeightedSpeedup(nil, nil); ws != 0 {
+		t.Errorf("empty WS=%g", ws)
+	}
+}
+
+func TestWeightedSpeedupPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched WS did not panic")
+		}
+	}()
+	WeightedSpeedup([]float64{1}, []float64{1, 2})
+}
+
+func TestSorted(t *testing.T) {
+	in := []float64{1, 3, 2}
+	out := Sorted(in)
+	if out[0] != 3 || out[1] != 2 || out[2] != 1 {
+		t.Errorf("Sorted=%v", out)
+	}
+	// Input untouched.
+	if in[0] != 1 || in[2] != 2 {
+		t.Errorf("Sorted mutated input: %v", in)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {-5, 10}, {105, 50},
+		{12.5, 15},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !eq(got, c.want) {
+			t.Errorf("Percentile(%g)=%g, want %g", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max wrong: %g/%g", Min(xs), Max(xs))
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max should be infinities")
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 1}); !eq(got, 1) {
+		t.Errorf("HM=%g", got)
+	}
+	if got := HarmonicMean([]float64{2, 6, 6}); !within(got, 3.6, 1e-12) {
+		t.Errorf("HM(2,6,6)=%g, want 3.6", got)
+	}
+	// HM <= GM <= AM chain.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		xs := make([]float64, 8)
+		for j := range xs {
+			xs[j] = rng.Float64()*5 + 0.1
+		}
+		hm, gm, am := HarmonicMean(xs), GeoMean(xs), Mean(xs)
+		if hm > gm+1e-12 || gm > am+1e-12 {
+			t.Fatalf("mean chain violated: hm=%g gm=%g am=%g", hm, gm, am)
+		}
+	}
+}
+
+func eq(a, b float64) bool { return within(a, b, 1e-12) }
+
+func within(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}

@@ -1,0 +1,26 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"cdcs/internal/curves"
+)
+
+// BenchmarkGeneratorNext measures per-access synthesis cost with a
+// multi-megabyte working set (the Fenwick recency structure keeps this
+// O(log n); the naive slice version was O(n)).
+func BenchmarkGeneratorNext(b *testing.B) {
+	ratio := curves.New(
+		[]float64{0, 20000, 40000, 65536},
+		[]float64{0.9, 0.5, 0.05, 0.05})
+	g := NewGenerator(ratio, 0, rand.New(rand.NewSource(1)))
+	// Warm the stack.
+	for i := 0; i < 100000; i++ {
+		g.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

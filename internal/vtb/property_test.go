@@ -1,0 +1,110 @@
+package vtb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cdcs/internal/cachesim"
+)
+
+// randomAlloc builds a random bank→lines allocation.
+func randomAlloc(rng *rand.Rand) map[int]float64 {
+	n := 1 + rng.Intn(12)
+	out := map[int]float64{}
+	for i := 0; i < n; i++ {
+		out[rng.Intn(64)] = rng.Float64()*16000 + 1
+	}
+	return out
+}
+
+func TestPropertyFractionsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 200; trial++ {
+		d, err := BuildDescriptor(64, randomAlloc(rng), nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sum := 0.0
+		for _, f := range d.Fractions() {
+			if f <= 0 {
+				t.Fatalf("trial %d: non-positive fraction", trial)
+			}
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("trial %d: fractions sum to %g", trial, sum)
+		}
+	}
+}
+
+func TestPropertyFractionsProportional(t *testing.T) {
+	// Bucket fractions approximate capacity shares within 1/N each.
+	rng := rand.New(rand.NewSource(302))
+	for trial := 0; trial < 200; trial++ {
+		alloc := randomAlloc(rng)
+		if len(alloc) > 32 {
+			continue
+		}
+		d, err := BuildDescriptor(64, alloc, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		total := 0.0
+		for _, l := range alloc {
+			total += l
+		}
+		fr := d.Fractions()
+		for b, lines := range alloc {
+			want := lines / total
+			if math.Abs(fr[b]-want) > 1.0/64+1e-9 {
+				t.Fatalf("trial %d: bank %d fraction %g, want %g±1/64", trial, b, fr[b], want)
+			}
+		}
+	}
+}
+
+func TestPropertyLookupStaysInDescriptor(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 100; trial++ {
+		alloc := randomAlloc(rng)
+		d, err := BuildDescriptor(64, alloc, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < 200; i++ {
+			loc := d.Lookup(cachesim.Addr(rng.Uint64()))
+			if _, ok := alloc[loc.Bank]; !ok {
+				t.Fatalf("trial %d: lookup returned bank %d outside allocation", trial, loc.Bank)
+			}
+		}
+	}
+}
+
+func TestPropertyShadowCoversAllAddresses(t *testing.T) {
+	// During a reconfiguration every address has both a current and an old
+	// location, and unmoved addresses report moved=false.
+	rng := rand.New(rand.NewSource(304))
+	v := New(1)
+	d1, _ := BuildDescriptor(64, randomAlloc(rng), nil)
+	d2, _ := BuildDescriptor(64, randomAlloc(rng), nil)
+	if err := v.Install(0, d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Install(0, d2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		addr := cachesim.Addr(rng.Uint64())
+		cur, old, moved, err := v.Lookup(0, addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if moved != (cur != old) {
+			t.Fatalf("moved flag inconsistent: cur=%v old=%v moved=%v", cur, old, moved)
+		}
+		if cur != d2.Lookup(addr) || old != d1.Lookup(addr) {
+			t.Fatal("shadow lookup does not match descriptors")
+		}
+	}
+}

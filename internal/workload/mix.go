@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cdcs/internal/curves"
+)
+
+// VCKind distinguishes the virtual-cache types CDCS creates (§III): one
+// thread-private VC per thread and one shared VC per process. (The paper also
+// defines a global VC for data shared across processes; workloads in the
+// evaluation barely use it, so mixes here omit it and we document that in
+// DESIGN.md.)
+type VCKind int
+
+const (
+	// ThreadPrivate VCs hold data accessed by a single thread.
+	ThreadPrivate VCKind = iota
+	// ProcessShared VCs hold data accessed by multiple threads of a process.
+	ProcessShared
+)
+
+// String returns the kind name.
+func (k VCKind) String() string {
+	if k == ThreadPrivate {
+		return "private"
+	}
+	return "shared"
+}
+
+// VC is a virtual cache: the unit of capacity allocation and data placement.
+type VC struct {
+	// ID indexes the VC within its Mix.
+	ID int
+	// Proc is the owning process index within the Mix.
+	Proc int
+	// Kind is the VC type.
+	Kind VCKind
+	// MissRatio maps allocated lines to miss ratio for accesses to this VC.
+	MissRatio curves.Curve
+	// Accessors maps thread index to that thread's APKI into this VC.
+	Accessors map[int]float64
+}
+
+// TotalAPKI sums access intensity over all accessor threads.
+func (v *VC) TotalAPKI() float64 {
+	sum := 0.0
+	for _, a := range v.Accessors {
+		sum += a
+	}
+	return sum
+}
+
+// Thread is a schedulable thread with its access split across VCs.
+type Thread struct {
+	// ID indexes the thread within its Mix.
+	ID int
+	// Proc is the owning process index.
+	Proc int
+	// Name is "bench#k[.t]" for diagnostics.
+	Name string
+	// CPIBase and MLP come from the owning profile.
+	CPIBase float64
+	MLP     float64
+	// Access maps VC id to APKI.
+	Access map[int]float64
+}
+
+// TotalAPKI sums the thread's access intensity over all VCs.
+func (t *Thread) TotalAPKI() float64 {
+	sum := 0.0
+	for _, a := range t.Access {
+		sum += a
+	}
+	return sum
+}
+
+// Process groups the threads of one application instance.
+type Process struct {
+	// Name is "bench#k".
+	Name string
+	// Bench is the profile name.
+	Bench string
+	// Multithreaded reports whether this instance came from an MTProfile.
+	Multithreaded bool
+	// ThreadIDs lists member threads.
+	ThreadIDs []int
+	// VCIDs lists the VCs owned by this process.
+	VCIDs []int
+}
+
+// Mix is a complete workload: processes expanded into threads and VCs. Build
+// with NewMix and the Add methods; a Mix is immutable once handed to a
+// simulator.
+type Mix struct {
+	Procs   []Process
+	Threads []Thread
+	VCs     []VC
+
+	counts map[string]int // instances per bench name, for naming
+}
+
+// NewMix returns an empty mix.
+func NewMix() *Mix {
+	return &Mix{counts: map[string]int{}}
+}
+
+// AddST appends a single-threaded app instance: one thread, one private VC.
+func (m *Mix) AddST(p *Profile) *Mix {
+	m.counts[p.Name]++
+	name := fmt.Sprintf("%s#%d", p.Name, m.counts[p.Name])
+	proc := len(m.Procs)
+	tid := len(m.Threads)
+	vid := len(m.VCs)
+
+	m.VCs = append(m.VCs, VC{
+		ID: vid, Proc: proc, Kind: ThreadPrivate,
+		MissRatio: p.MissRatio,
+		Accessors: map[int]float64{tid: p.APKI},
+	})
+	m.Threads = append(m.Threads, Thread{
+		ID: tid, Proc: proc, Name: name,
+		CPIBase: p.CPIBase, MLP: p.MLP,
+		Access: map[int]float64{vid: p.APKI},
+	})
+	m.Procs = append(m.Procs, Process{
+		Name: name, Bench: p.Name,
+		ThreadIDs: []int{tid}, VCIDs: []int{vid},
+	})
+	return m
+}
+
+// AddMT appends a multithreaded app instance: p.Threads threads, one private
+// VC per thread, and one shared VC accessed by all of them.
+func (m *Mix) AddMT(p *MTProfile) *Mix {
+	m.counts[p.Name]++
+	name := fmt.Sprintf("%s#%d", p.Name, m.counts[p.Name])
+	proc := len(m.Procs)
+
+	shID := len(m.VCs)
+	shared := VC{
+		ID: shID, Proc: proc, Kind: ProcessShared,
+		MissRatio: p.SharedRatio,
+		Accessors: map[int]float64{},
+	}
+	m.VCs = append(m.VCs, shared)
+
+	procRec := Process{Name: name, Bench: p.Name, Multithreaded: true, VCIDs: []int{shID}}
+	privAPKI := p.APKI * (1 - p.SharedFrac)
+	shAPKI := p.APKI * p.SharedFrac
+	for i := 0; i < p.Threads; i++ {
+		tid := len(m.Threads)
+		vid := len(m.VCs)
+		m.VCs = append(m.VCs, VC{
+			ID: vid, Proc: proc, Kind: ThreadPrivate,
+			MissRatio: p.PrivRatio,
+			Accessors: map[int]float64{tid: privAPKI},
+		})
+		m.Threads = append(m.Threads, Thread{
+			ID: tid, Proc: proc, Name: fmt.Sprintf("%s.%d", name, i),
+			CPIBase: p.CPIBase, MLP: p.MLP,
+			Access: map[int]float64{vid: privAPKI, shID: shAPKI},
+		})
+		m.VCs[shID].Accessors[tid] = shAPKI
+		procRec.ThreadIDs = append(procRec.ThreadIDs, tid)
+		procRec.VCIDs = append(procRec.VCIDs, vid)
+	}
+	m.Procs = append(m.Procs, procRec)
+	return m
+}
+
+// Validate checks internal consistency; it returns an error describing the
+// first violation found. Simulators call this once per mix.
+func (m *Mix) Validate() error {
+	for ti, th := range m.Threads {
+		if th.ID != ti {
+			return fmt.Errorf("thread %d has ID %d", ti, th.ID)
+		}
+		if len(th.Access) == 0 {
+			return fmt.Errorf("thread %q accesses no VCs", th.Name)
+		}
+		for vid := range th.Access {
+			if vid < 0 || vid >= len(m.VCs) {
+				return fmt.Errorf("thread %q references VC %d out of range", th.Name, vid)
+			}
+			if _, ok := m.VCs[vid].Accessors[th.ID]; !ok {
+				return fmt.Errorf("thread %q -> VC %d missing reverse edge", th.Name, vid)
+			}
+		}
+	}
+	for vi, vc := range m.VCs {
+		if vc.ID != vi {
+			return fmt.Errorf("VC %d has ID %d", vi, vc.ID)
+		}
+		for tid, apki := range vc.Accessors {
+			if tid < 0 || tid >= len(m.Threads) {
+				return fmt.Errorf("VC %d accessor thread %d out of range", vi, tid)
+			}
+			got, ok := m.Threads[tid].Access[vc.ID]
+			if !ok || got != apki {
+				return fmt.Errorf("VC %d accessor %d rate mismatch", vi, tid)
+			}
+		}
+	}
+	return nil
+}
+
+// RandomST builds a mix of n single-threaded apps drawn uniformly (with
+// replacement) from profiles, using rng for reproducibility.
+func RandomST(rng *rand.Rand, profiles []*Profile, n int) *Mix {
+	m := NewMix()
+	for i := 0; i < n; i++ {
+		m.AddST(profiles[rng.Intn(len(profiles))])
+	}
+	return m
+}
+
+// RandomMT builds a mix of n multithreaded apps drawn uniformly (with
+// replacement) from profiles.
+func RandomMT(rng *rand.Rand, profiles []*MTProfile, n int) *Mix {
+	m := NewMix()
+	for i := 0; i < n; i++ {
+		m.AddMT(profiles[rng.Intn(len(profiles))])
+	}
+	return m
+}
+
+// CaseStudy returns the §II-B mix: 6×omnet, 14×milc, 2×ilbdc (8 threads
+// each) — 36 threads for the 36-tile CMP.
+func CaseStudy() *Mix {
+	cpu := SPECCPU()
+	omp := SPECOMP()
+	m := NewMix()
+	for i := 0; i < 6; i++ {
+		m.AddST(ByName(cpu, "omnet"))
+	}
+	for i := 0; i < 14; i++ {
+		m.AddST(ByName(cpu, "milc"))
+	}
+	for i := 0; i < 2; i++ {
+		m.AddMT(MTByName(omp, "ilbdc"))
+	}
+	return m
+}
+
+// Fig16CaseStudy returns the §VI-B under-committed MT mix: mgrid (private-
+// heavy, intensive) + md + ilbdc + nab (shared-heavy), 8 threads each.
+func Fig16CaseStudy() *Mix {
+	omp := SPECOMP()
+	m := NewMix()
+	for _, name := range []string{"mgrid", "md", "ilbdc", "nab"} {
+		m.AddMT(MTByName(omp, name))
+	}
+	return m
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestPhasedProfileCycles(t *testing.T) {
+	set := PhasedSet()
+	pulse := set[0] // 2 phases × 2 epochs
+	if pulse.TotalEpochs() != 4 {
+		t.Fatalf("pulse cycle length %d, want 4", pulse.TotalEpochs())
+	}
+	// Phase boundaries: epochs 0-1 phase A, 2-3 phase B, 4 wraps to A.
+	a0 := pulse.At(0)
+	a1 := pulse.At(1)
+	b0 := pulse.At(2)
+	wrap := pulse.At(4)
+	if a0.MissRatio.Eval(1*LinesPerMB) != a1.MissRatio.Eval(1*LinesPerMB) {
+		t.Error("same phase produced different curves")
+	}
+	if a0.MissRatio.Eval(1*LinesPerMB) == b0.MissRatio.Eval(1*LinesPerMB) {
+		t.Error("phase change did not change the curve")
+	}
+	if wrap.MissRatio.Eval(1*LinesPerMB) != a0.MissRatio.Eval(1*LinesPerMB) {
+		t.Error("phases did not wrap around")
+	}
+}
+
+func TestPhasedProfilesAreValidProfiles(t *testing.T) {
+	for _, pp := range PhasedSet() {
+		for e := 0; e < pp.TotalEpochs()+2; e++ {
+			p := pp.At(e)
+			if p.APKI <= 0 || p.CPIBase <= 0 || p.MLP < 1 {
+				t.Errorf("%s epoch %d: bad parameters", pp.Name, e)
+			}
+			if !p.MissRatio.IsNonIncreasing() {
+				t.Errorf("%s epoch %d: increasing miss curve", pp.Name, e)
+			}
+		}
+	}
+}
+
+func TestPhasedSteadyAppNeverChanges(t *testing.T) {
+	steady := MTByNamePhased(PhasedSet(), "steady")
+	if steady == nil {
+		t.Fatal("steady profile missing")
+	}
+	for e := 1; e < 6; e++ {
+		if steady.At(e).MissRatio.Eval(LinesPerMB) != steady.At(0).MissRatio.Eval(LinesPerMB) {
+			t.Fatal("steady app changed across epochs")
+		}
+	}
+}
+
+func TestPhasedEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty phased profile did not panic")
+		}
+	}()
+	(&PhasedProfile{Name: "x"}).At(0)
+}
+
+// MTByNamePhased finds a phased profile by name (test helper; exported-style
+// naming kept local to the test).
+func MTByNamePhased(ps []*PhasedProfile, name string) *PhasedProfile {
+	for _, p := range ps {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
