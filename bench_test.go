@@ -7,9 +7,15 @@ package cdcs
 // the numbers EXPERIMENTS.md records against the paper.
 
 import (
+	"fmt"
+	"math/rand"
+	"runtime"
 	"testing"
 
 	"cdcs/internal/exp"
+	"cdcs/internal/policy"
+	"cdcs/internal/sim"
+	"cdcs/internal/workload"
 )
 
 // runExp executes an experiment once per benchmark iteration and reports
@@ -140,6 +146,38 @@ func BenchmarkExtHWSimValidation(b *testing.B) {
 
 func BenchmarkExtScaling(b *testing.B) {
 	runExp(b, "ext-scaling", "cdcs:16", "cdcs:144")
+}
+
+// BenchmarkCampaignParallel sweeps the engine's worker count on a fixed
+// Fig. 11-style campaign so the parallel speedup is tracked in the perf
+// trajectory. Results are bit-identical across the sub-benchmarks; only the
+// wall clock should change.
+func BenchmarkCampaignParallel(b *testing.B) {
+	env := policy.DefaultEnv()
+	cpu := workload.SPECCPU()
+	schemes := []policy.Scheme{
+		policy.SchemeSNUCA, policy.SchemeJigsawR, policy.SchemeCDCS,
+	}
+	workers := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		workers = append(workers, n)
+	}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("j=%d", w), func(b *testing.B) {
+			eng := sim.Engine{Parallelism: w}
+			var gmean float64
+			for i := 0; i < b.N; i++ {
+				res, err := eng.RunCampaign(env, schemes, 8, 1, func(rng *rand.Rand) *workload.Mix {
+					return workload.RandomST(rng, cpu, 64)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				gmean = res[len(res)-1].Gmean
+			}
+			b.ReportMetric(gmean, "gmeanWS:CDCS")
+		})
+	}
 }
 
 // Microbenchmarks of the hot reconfiguration path (Table 3's components).

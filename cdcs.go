@@ -24,6 +24,7 @@
 package cdcs
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -316,26 +317,58 @@ type Comparison struct {
 	WeightedSpeedup map[string]float64
 }
 
+// RunOptions controls parallel execution of Compare and Experiment calls.
+// The zero value runs with GOMAXPROCS workers and no cancellation; results
+// are bit-identical for any Parallelism (randomness is derived per job, see
+// the engine in internal/sim).
+type RunOptions struct {
+	// Parallelism caps concurrent simulation jobs; 0 means GOMAXPROCS.
+	Parallelism int
+	// Context cancels a long evaluation early; nil means background. A
+	// canceled run returns ctx.Err().
+	Context context.Context
+	// Progress, when non-nil, receives (done, total) after each completed
+	// job. Multi-stage experiments restart the count per stage.
+	Progress func(done, total int)
+}
+
+// engine converts the options to the internal worker pool.
+func (o RunOptions) engine() sim.Engine {
+	return sim.Engine{Parallelism: o.Parallelism, Ctx: o.Context, OnProgress: o.Progress}
+}
+
 // Compare evaluates schemes on one mix; the first scheme is the baseline
-// (conventionally SNUCA).
+// (conventionally SNUCA). Schemes are evaluated in parallel with default
+// RunOptions; use CompareWithOptions to bound parallelism or cancel.
 func (s *System) Compare(mix *Mix, seed int64, schemes ...Scheme) (*Comparison, error) {
+	return s.CompareWithOptions(mix, seed, RunOptions{}, schemes...)
+}
+
+// CompareWithOptions is Compare with explicit execution options. Scheme i
+// runs with seed+i (the same seeds as a sequential Compare), so results do
+// not depend on the worker count.
+func (s *System) CompareWithOptions(mix *Mix, seed int64, opts RunOptions, schemes ...Scheme) (*Comparison, error) {
 	if len(schemes) == 0 {
 		return nil, fmt.Errorf("cdcs: Compare needs at least one scheme")
 	}
+	results := make([]*Result, len(schemes))
+	if err := opts.engine().ForEach(len(schemes), func(i int) error {
+		r, err := s.Run(schemes[i], mix, seed+int64(i))
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	cmp := &Comparison{
+		Baseline:        results[0].Scheme,
 		Results:         map[string]*Result{},
 		WeightedSpeedup: map[string]float64{},
 	}
-	var base *Result
-	for i, sc := range schemes {
-		r, err := s.Run(sc, mix, seed+int64(i))
-		if err != nil {
-			return nil, err
-		}
-		if i == 0 {
-			base = r
-			cmp.Baseline = r.Scheme
-		}
+	base := results[0]
+	for _, r := range results {
 		cmp.Results[r.Scheme] = r
 		cmp.WeightedSpeedup[r.Scheme] = stats.WeightedSpeedup(r.PerApp, base.PerApp)
 	}
@@ -344,13 +377,24 @@ func (s *System) Compare(mix *Mix, seed int64, schemes ...Scheme) (*Comparison, 
 
 // Experiment regenerates one of the paper's tables or figures and returns
 // its formatted report. Quick mode trims mix counts for fast smoke runs;
-// full mode uses the paper's 50 mixes.
+// full mode uses the paper's 50 mixes. Simulation jobs fan out over all
+// cores; use ExperimentWithOptions to bound parallelism, cancel, or watch
+// progress.
 func Experiment(id string, quick bool) (string, error) {
-	opts := exp.DefaultOptions()
+	return ExperimentWithOptions(id, quick, RunOptions{})
+}
+
+// ExperimentWithOptions is Experiment with explicit execution options.
+// Results are bit-identical for any Parallelism.
+func ExperimentWithOptions(id string, quick bool, opts RunOptions) (string, error) {
+	eo := exp.DefaultOptions()
 	if quick {
-		opts = exp.QuickOptions()
+		eo = exp.QuickOptions()
 	}
-	rep, err := exp.Run(id, opts)
+	eo.Parallelism = opts.Parallelism
+	eo.Context = opts.Context
+	eo.Progress = opts.Progress
+	rep, err := exp.Run(id, eo)
 	if err != nil {
 		return "", err
 	}

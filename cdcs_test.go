@@ -1,6 +1,9 @@
 package cdcs
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -137,6 +140,64 @@ func TestCDCSVariantBehaves(t *testing.T) {
 	if cmp.WeightedSpeedup["CDCS"] < cmp.WeightedSpeedup["CDCS[]"] {
 		t.Errorf("full CDCS %.3f below bare variant %.3f",
 			cmp.WeightedSpeedup["CDCS"], cmp.WeightedSpeedup["CDCS[]"])
+	}
+}
+
+func TestCompareWithOptionsDeterministic(t *testing.T) {
+	sys := DefaultSystem()
+	mix, err := RandomMix(7, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes := []Scheme{SNUCA, JigsawR, CDCS}
+	seq, err := sys.CompareWithOptions(mix, 7, RunOptions{Parallelism: 1}, schemes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sys.CompareWithOptions(mix, 7, RunOptions{Parallelism: 8}, schemes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.WeightedSpeedup, par.WeightedSpeedup) {
+		t.Errorf("weighted speedups differ across parallelism:\nseq: %v\npar: %v",
+			seq.WeightedSpeedup, par.WeightedSpeedup)
+	}
+	// And identical to the plain Compare path.
+	plain, err := sys.Compare(mix, 7, schemes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.WeightedSpeedup, seq.WeightedSpeedup) {
+		t.Error("Compare and CompareWithOptions disagree")
+	}
+}
+
+func TestCompareWithOptionsCanceled(t *testing.T) {
+	sys := DefaultSystem()
+	mix, _ := RandomMix(1, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.CompareWithOptions(mix, 1, RunOptions{Context: ctx}, SNUCA, CDCS); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if _, err := ExperimentWithOptions("fig11", true, RunOptions{Context: ctx}); !errors.Is(err, context.Canceled) {
+		t.Errorf("experiment err = %v, want context.Canceled", err)
+	}
+}
+
+func TestExperimentWithOptionsProgress(t *testing.T) {
+	var last, total int
+	out, err := ExperimentWithOptions("fig14", true, RunOptions{
+		Progress: func(d, n int) { last, total = d, n },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "CDCS") {
+		t.Error("report missing CDCS row")
+	}
+	if total == 0 || last != total {
+		t.Errorf("progress ended at %d/%d", last, total)
 	}
 }
 

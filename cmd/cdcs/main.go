@@ -4,13 +4,21 @@
 //	cdcs -list                 # list experiment ids
 //	cdcs -exp fig11            # run one experiment at paper scale (50 mixes)
 //	cdcs -exp fig11 -quick     # scaled-down smoke run
-//	cdcs -all -quick           # run everything
+//	cdcs -all -quick           # run everything, with a progress line
+//	cdcs -all -quick -j 8      # bound the worker pool to 8 jobs
+//
+// Simulation jobs fan out over a worker pool (-j, default all cores);
+// results are bit-identical for any worker count. Ctrl-C cancels the run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"time"
 
 	"cdcs/internal/exp"
 )
@@ -18,11 +26,12 @@ import (
 func main() {
 	var (
 		id    = flag.String("exp", "", "experiment id to run (see -list)")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiment ids")
+		all   = flag.Bool("all", false, "run every experiment (alphabetical id order, as in -list)")
+		list  = flag.Bool("list", false, "list experiment ids (alphabetical)")
 		quick = flag.Bool("quick", false, "reduced mix counts for fast runs")
 		mixes = flag.Int("mixes", 0, "override the number of mixes per point")
 		seed  = flag.Int64("seed", 1, "base random seed")
+		jobs  = flag.Int("j", runtime.GOMAXPROCS(0), "max parallel simulation jobs (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -33,6 +42,11 @@ func main() {
 		return
 	}
 
+	// Ctrl-C cancels in-flight simulation jobs instead of killing the
+	// process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	opts := exp.DefaultOptions()
 	if *quick {
 		opts = exp.QuickOptions()
@@ -41,27 +55,47 @@ func main() {
 		opts.Mixes = *mixes
 	}
 	opts.Seed = *seed
+	opts.Parallelism = *jobs
+	opts.Context = ctx
 
-	run := func(e string) error {
-		rep, err := exp.Run(e, opts)
+	run := func(e string, progress bool) error {
+		o := opts
+		if progress {
+			o.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%-20s %d/%d jobs", e, done, total)
+			}
+		}
+		start := time.Now()
+		rep, err := exp.Run(e, o)
+		if progress {
+			fmt.Fprintf(os.Stderr, "\r%-40s\r", "") // clear the progress line
+		}
 		if err != nil {
 			return err
 		}
 		fmt.Print(rep.String())
 		fmt.Println()
+		if progress {
+			fmt.Fprintf(os.Stderr, "%-20s done in %.1fs\n", e, time.Since(start).Seconds())
+		}
 		return nil
 	}
 
 	switch {
 	case *all:
-		for _, e := range exp.IDs() {
-			if err := run(e); err != nil {
+		ids := exp.IDs()
+		start := time.Now()
+		for k, e := range ids {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", k+1, len(ids), e)
+			if err := run(e, true); err != nil {
 				fmt.Fprintf(os.Stderr, "cdcs: %s: %v\n", e, err)
 				os.Exit(1)
 			}
 		}
+		fmt.Fprintf(os.Stderr, "all %d experiments in %.1fs (-j %d)\n",
+			len(ids), time.Since(start).Seconds(), *jobs)
 	case *id != "":
-		if err := run(*id); err != nil {
+		if err := run(*id, false); err != nil {
 			fmt.Fprintf(os.Stderr, "cdcs: %v\n", err)
 			os.Exit(1)
 		}

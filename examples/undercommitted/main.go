@@ -2,11 +2,19 @@
 // 64-core chip, capacity becomes plentiful and Jigsaw's always-use-all-
 // capacity allocation starts hurting on-chip latency. CDCS's latency-aware
 // allocation keeps its advantage across the whole occupancy range.
+//
+// This example also demonstrates the options form of the comparison API:
+// Ctrl-C cancels cleanly mid-sweep, and scheme evaluations fan out over all
+// cores (results are identical for any worker count).
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"cdcs"
 )
@@ -14,6 +22,10 @@ import (
 func main() {
 	sys := cdcs.DefaultSystem()
 	const mixesPerPoint = 10
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opts := cdcs.RunOptions{Context: ctx}
 
 	fmt.Printf("%6s %10s %10s %10s %10s\n", "apps", "R-NUCA", "Jigsaw+C", "Jigsaw+R", "CDCS")
 	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
@@ -24,8 +36,12 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			cmp, err := sys.Compare(mix, seed,
+			cmp, err := sys.CompareWithOptions(mix, seed, opts,
 				cdcs.SNUCA, cdcs.RNUCA, cdcs.JigsawC, cdcs.JigsawR, cdcs.CDCS)
+			if errors.Is(err, context.Canceled) {
+				fmt.Println("\ninterrupted")
+				return
+			}
 			if err != nil {
 				log.Fatal(err)
 			}

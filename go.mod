@@ -1,0 +1,3 @@
+module cdcs
+
+go 1.24

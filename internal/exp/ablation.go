@@ -35,30 +35,38 @@ func runAblationTrades(opts Options) (*Report, error) {
 	if n > 10 {
 		n = 10
 	}
-	gains := map[int][]float64{}
 	rounds := []int{1, 2, 4, 8}
-	for m := 0; m < n; m++ {
+	// gains[k][m] is mix m's recovered latency under rounds[k]; each mix is
+	// an independent engine job writing only its own column.
+	gains := make([][]float64, len(rounds))
+	for k := range gains {
+		gains[k] = make([]float64, n)
+	}
+	if err := opts.engine().ForEach(n, func(m int) error {
 		mix := workload.RandomST(rand.New(rand.NewSource(opts.Seed+int64(m))), cpu, 64)
 		s, err := policy.Build(env, policy.SchemeCDCS, mix, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		demands := cdcsDemands(mix, s)
 		perm := rand.New(rand.NewSource(opts.Seed + 50 + int64(m))).Perm(env.Chip.Banks())
 		threads := place.RandomThreads(env.Chip, len(mix.Threads), perm)
 		base := place.Greedy(env.Chip, demands, threads, env.Chip.BankLines/8)
 		baseLat := place.OnChipLatency(env.Chip, demands, base, threads)
-		for _, r := range rounds {
+		for k, r := range rounds {
 			a := base.Clone()
 			place.RefineRounds(env.Chip, demands, a, threads, r)
 			lat := place.OnChipLatency(env.Chip, demands, a, threads)
-			gains[r] = append(gains[r], baseLat-lat)
+			gains[k][m] = baseLat - lat
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	full := stats.Mean(gains[rounds[len(rounds)-1]])
+	full := stats.Mean(gains[len(rounds)-1])
 	rep.addf("%8s %14s %12s", "rounds", "gain (acc-hop)", "of max gain")
-	for _, r := range rounds {
-		g := stats.Mean(gains[r])
+	for k, r := range rounds {
+		g := stats.Mean(gains[k])
 		frac := 1.0
 		if full > 0 {
 			frac = g / full
@@ -85,9 +93,16 @@ func runAblationGMONWays(opts Options) (*Report, error) {
 	if opts.Quick {
 		nAccess = 200000
 	}
-	rep.addf("%6s %10s %10s", "ways", "RMS err", "state B")
-	for _, ways := range []int{16, 32, 64, 128} {
-		m := monitor.NewGMON(16, ways, 128, maxLines)
+	wayCounts := []int{16, 32, 64, 128}
+	type wayResult struct {
+		rms   float64
+		state int
+	}
+	// Each way count's GMON simulation is an independent engine job with
+	// its own trace generator (all seeded opts.Seed, as before).
+	results := make([]wayResult, len(wayCounts))
+	if err := opts.engine().ForEach(len(wayCounts), func(k int) error {
+		m := monitor.NewGMON(16, wayCounts[k], 128, maxLines)
 		gen := trace.NewGenerator(target, 0, rand.New(rand.NewSource(opts.Seed)))
 		for i := 0; i < nAccess; i++ {
 			m.Access(gen.Next())
@@ -99,9 +114,15 @@ func runAblationGMONWays(opts Options) (*Report, error) {
 			d := got.Eval(x) - target.Eval(x)
 			se += d * d
 		}
-		rms := math.Sqrt(se / float64(len(probes)))
-		rep.addf("%6d %10.4f %10d", ways, rms, m.StateBytes())
-		rep.Scalars[fmt.Sprintf("rms:%d", ways)] = rms
+		results[k] = wayResult{math.Sqrt(se / float64(len(probes))), m.StateBytes()}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	rep.addf("%6s %10s %10s", "ways", "RMS err", "state B")
+	for k, ways := range wayCounts {
+		rep.addf("%6d %10.4f %10d", ways, results[k].rms, results[k].state)
+		rep.Scalars[fmt.Sprintf("rms:%d", ways)] = results[k].rms
 	}
 	return rep, nil
 }
@@ -120,7 +141,7 @@ func runAblationChunk(opts Options) (*Report, error) {
 		scheme := policy.SchemeCDCS
 		scheme.BankGranular = div == 1
 		scheme.Label = fmt.Sprintf("CDCS/chunk=bank/%g", div)
-		res, err := sim.RunCampaign(env,
+		res, err := opts.engine().RunCampaign(env,
 			[]policy.Scheme{policy.SchemeSNUCA, scheme},
 			n, opts.Seed, func(rng *rand.Rand) *workload.Mix {
 				return workload.RandomST(rng, cpu, 64)
@@ -142,7 +163,7 @@ func runExtNUMA(opts Options) (*Report, error) {
 	env := policy.DefaultEnv()
 	env.Params.NUMAAware = true
 	cpu := workload.SPECCPU()
-	res, err := sim.RunCampaign(env, allSchemes(), opts.Mixes, opts.Seed, func(rng *rand.Rand) *workload.Mix {
+	res, err := opts.engine().RunCampaign(env, allSchemes(), opts.Mixes, opts.Seed, func(rng *rand.Rand) *workload.Mix {
 		return workload.RandomST(rng, cpu, 64)
 	})
 	if err != nil {
@@ -169,7 +190,11 @@ func runExtMonitor(opts Options) (*Report, error) {
 	}
 	mix := workload.RandomST(rand.New(rand.NewSource(opts.Seed)), cpu, nApps)
 
-	measured := sim.MonitoredMix(mix, env.Chip.TotalLines(), accesses, opts.Seed)
+	// Each VC's GMON trace is an independent engine job.
+	measured, err := opts.engine().MonitoredMix(mix, env.Chip.TotalLines(), accesses, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
 	var curveErr float64
 	for v := range mix.VCs {
 		curveErr += sim.CurveError(measured[v], mix.VCs[v].MissRatio, env.Chip.TotalLines())

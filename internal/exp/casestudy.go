@@ -2,7 +2,9 @@ package exp
 
 import (
 	"fmt"
+	"maps"
 	"math/rand"
+	"slices"
 	"strings"
 
 	"cdcs/internal/alloc"
@@ -33,16 +35,25 @@ func runTable1(opts Options) (*Report, error) {
 	env := policy.ScaledEnv(6, 6)
 	mix := workload.CaseStudy()
 
-	var base sim.MixResult
-	rep.addf("%-10s %8s %8s %8s %8s", "scheme", "omnet", "ilbdc", "milc", "WS")
-	for i, sc := range caseStudySchemes() {
-		res, err := sim.RunMix(env, sc, mix, rand.New(rand.NewSource(opts.Seed+int64(i))))
+	// All five schemes evaluate the same mix independently (scheme i seeded
+	// opts.Seed+i, as before): one engine job per scheme, reported in order
+	// against scheme 0 (S-NUCA) as baseline.
+	schemes := caseStudySchemes()
+	results := make([]sim.MixResult, len(schemes))
+	if err := opts.engine().ForEach(len(schemes), func(i int) error {
+		res, err := sim.RunMix(env, schemes[i], mix, rand.New(rand.NewSource(opts.Seed+int64(i))))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if i == 0 {
-			base = res
-		}
+		results[i] = res
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	base := results[0]
+	rep.addf("%-10s %8s %8s %8s %8s", "scheme", "omnet", "ilbdc", "milc", "WS")
+	for i := range schemes {
+		res := results[i]
 		per := map[string][]float64{}
 		for p, proc := range mix.Procs {
 			per[proc.Bench] = append(per[proc.Bench], res.PerApp[p]/base.PerApp[p])
@@ -67,11 +78,19 @@ func runFig1(opts Options) (*Report, error) {
 	env := policy.ScaledEnv(6, 6)
 	mix := workload.CaseStudy()
 
-	for i, sc := range []policy.Scheme{policy.SchemeJigsawC, policy.SchemeJigsawR, policy.SchemeCDCS} {
-		res, err := sim.RunMix(env, sc, mix, rand.New(rand.NewSource(opts.Seed+int64(i))))
+	schemes := []policy.Scheme{policy.SchemeJigsawC, policy.SchemeJigsawR, policy.SchemeCDCS}
+	results := make([]sim.MixResult, len(schemes))
+	if err := opts.engine().ForEach(len(schemes), func(i int) error {
+		res, err := sim.RunMix(env, schemes[i], mix, rand.New(rand.NewSource(opts.Seed+int64(i))))
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = res
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		rep.addf("%s:", res.Scheme)
 		renderChipMap(rep, env, mix, res)
 		// Mean distance from omnet threads to their data (the Fig. 1b vs 1c
@@ -116,14 +135,15 @@ func omnetDataHops(env policy.Env, mix *workload.Mix, res sim.MixResult) float64
 		if proc.Bench != "omnet" {
 			continue
 		}
-		for v := range mix.Threads[t].Access {
+		// Sorted iteration keeps the float sums map-order independent.
+		for _, v := range slices.Sorted(maps.Keys(mix.Threads[t].Access)) {
 			size := core.VCSizes[v]
 			if size <= 0 {
 				continue
 			}
 			hops := 0.0
-			for b, lines := range core.Assignment[v] {
-				hops += lines / size * float64(env.Chip.Topo.Distance(res.Sched.ThreadCore[t], b))
+			for _, b := range slices.Sorted(maps.Keys(core.Assignment[v])) {
+				hops += core.Assignment[v][b] / size * float64(env.Chip.Topo.Distance(res.Sched.ThreadCore[t], b))
 			}
 			sum += hops
 			n++

@@ -9,9 +9,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+
+	"cdcs/internal/sim"
 )
 
 // Options configures an experiment run.
@@ -22,6 +25,15 @@ type Options struct {
 	Seed int64
 	// Quick trims sweeps for benchmark/CI use.
 	Quick bool
+	// Parallelism caps concurrent simulation jobs; 0 means GOMAXPROCS.
+	// Results are bit-identical for any value (see sim.Engine).
+	Parallelism int
+	// Context cancels a long run early; nil means background.
+	Context context.Context
+	// Progress, when non-nil, receives (done, total) after each completed
+	// job of the experiment's current fan-out stage. Experiments with
+	// several stages restart the count per stage.
+	Progress func(done, total int)
 }
 
 // DefaultOptions mirrors the paper's methodology.
@@ -32,6 +44,19 @@ func DefaultOptions() Options {
 // QuickOptions is a scaled-down configuration for benchmarks and smoke runs.
 func QuickOptions() Options {
 	return Options{Mixes: 8, Seed: 1, Quick: true}
+}
+
+// engine builds the sim.Engine all runners execute on.
+func (o Options) engine() sim.Engine {
+	return sim.Engine{Parallelism: o.Parallelism, Ctx: o.Context, OnProgress: o.Progress}
+}
+
+// ctx returns the run's context (never nil).
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // Report is an experiment's output: formatted lines for humans plus raw
@@ -69,6 +94,18 @@ func (r *Report) String() string {
 	return b.String()
 }
 
+// finite filters out NaN slots (used by fan-outs whose per-job results are
+// conditionally valid, preserving job order).
+func finite(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x == x { // not NaN
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
 // Runner produces a report.
 type Runner func(Options) (*Report, error)
 
@@ -96,7 +133,10 @@ func Run(id string, opts Options) (*Report, error) {
 	return r(opts)
 }
 
-// IDs lists registered experiments in registration order.
+// IDs lists registered experiments sorted alphabetically. (Registration
+// order follows Go's per-file init sequence, which is a compilation detail;
+// sorting keeps `cdcs -list`, `cdcs -all` and error messages stable and
+// identical.)
 func IDs() []string {
 	out := append([]string(nil), order...)
 	sort.Strings(out)

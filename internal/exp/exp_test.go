@@ -1,6 +1,10 @@
 package exp
 
 import (
+	"context"
+	"errors"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -52,6 +56,71 @@ func TestIDsComplete(t *testing.T) {
 	}
 	if len(IDs()) != len(want) {
 		t.Errorf("registered %d experiments, want %d", len(IDs()), len(want))
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	ids := IDs()
+	if !sort.StringsAreSorted(ids) {
+		t.Errorf("IDs() not sorted: %v", ids)
+	}
+}
+
+// TestParallelismBitIdentical runs campaign-backed experiments at worker
+// counts 1 and 8 and requires identical reports: the engine's determinism
+// guarantee surfaced at the experiment layer.
+func TestParallelismBitIdentical(t *testing.T) {
+	for _, id := range []string{"fig11", "fig15", "sec6c-anneal"} {
+		t.Run(id, func(t *testing.T) {
+			opts := QuickOptions()
+			opts.Mixes = 3
+			opts.Parallelism = 1
+			seq, err := Run(id, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.Parallelism = 8
+			par, err := Run(id, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq.Scalars, par.Scalars) {
+				t.Errorf("scalars differ across parallelism:\nseq: %v\npar: %v", seq.Scalars, par.Scalars)
+			}
+			if !reflect.DeepEqual(seq.Lines, par.Lines) {
+				t.Error("report lines differ across parallelism")
+			}
+		})
+	}
+}
+
+// TestCanceledContext verifies every experiment aborts with ctx.Err() on a
+// pre-canceled context instead of running to completion.
+func TestCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, id := range []string{"fig11", "table3", "ext-hwsim", "ext-phases"} {
+		opts := QuickOptions()
+		opts.Mixes = 2
+		opts.Context = ctx
+		if _, err := Run(id, opts); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", id, err)
+		}
+	}
+}
+
+// TestProgressReported checks the Progress callback fires for a
+// campaign-backed experiment and reaches its total.
+func TestProgressReported(t *testing.T) {
+	opts := QuickOptions()
+	opts.Mixes = 2
+	var last, total int
+	opts.Progress = func(d, n int) { last, total = d, n }
+	if _, err := Run("fig11", opts); err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 || last != total {
+		t.Errorf("progress ended at %d/%d, want full completion", last, total)
 	}
 }
 

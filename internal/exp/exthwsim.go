@@ -2,7 +2,9 @@ package exp
 
 import (
 	"fmt"
+	"maps"
 	"math/rand"
+	"slices"
 
 	"cdcs/internal/cachesim"
 	"cdcs/internal/core"
@@ -55,10 +57,10 @@ func runExtHWSim(opts Options) (*Report, error) {
 		}
 		if len(alloc) == 0 {
 			// Zero-capacity VCs still need a home bank for lookups: the
-			// thread's local bank, with a zero partition target.
-			for t := range mix.VCs[v].Accessors {
-				alloc[int(res.ThreadCore[t])] = 1
-				break
+			// lowest-id accessor's local bank, with a zero partition target
+			// (deterministic pick; map iteration order is random).
+			if ts := slices.Sorted(maps.Keys(mix.VCs[v].Accessors)); len(ts) > 0 {
+				alloc[int(res.ThreadCore[ts[0]])] = 1
 			}
 		}
 		d, err := vtb.BuildDescriptor(vtb.DefaultBuckets, alloc, partIDs(alloc, v))
@@ -83,7 +85,15 @@ func runExtHWSim(opts Options) (*Report, error) {
 	for _, w := range weights {
 		wsum += w
 	}
+	ctx := opts.ctx()
 	for i := 0; i < total; i++ {
+		// The trace replay is inherently sequential (one stateful LLC, one
+		// rng stream) but long; poll for cancellation periodically.
+		if i&0xffff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		u := rng.Float64() * wsum
 		v := 0
 		for ; v < len(weights)-1; v++ {

@@ -29,20 +29,34 @@ func runExtNoC(opts Options) (*Report, error) {
 		samples = 60000
 	}
 
-	rep.addf("%-10s %10s %10s %10s %10s", "scheme", "Eq.2", "zero-load", "measured", "queueing")
-	for _, sc := range []policy.Scheme{policy.SchemeCDCS, policy.SchemeSNUCA} {
-		s, err := policy.Build(env, sc, mix, rand.New(rand.NewSource(opts.Seed+1)))
+	// The two schemes' event-driven replays are independent engine jobs
+	// (each builds its own schedule and NoC state from the same seeds).
+	schemes := []policy.Scheme{policy.SchemeCDCS, policy.SchemeSNUCA}
+	type replay struct {
+		name                     string
+		analytic, zero, measured float64
+	}
+	rows := make([]replay, len(schemes))
+	if err := opts.engine().ForEach(len(schemes), func(k int) error {
+		s, err := policy.Build(env, schemes[k], mix, rand.New(rand.NewSource(opts.Seed+1)))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		chip := perfmodel.Evaluate(env.Params, s.Inputs)
-		analytic, zero, measured := replaySchedule(env, s, chip, samples, opts.Seed)
-		queueing := measured - zero
-		rep.addf("%-10s %10.2f %10.2f %10.2f %10.2f", s.Name, analytic, zero, measured, queueing)
-		rep.Scalars["analytic:"+s.Name] = analytic
-		rep.Scalars["zeroload:"+s.Name] = zero
-		rep.Scalars["measured:"+s.Name] = measured
-		rep.Scalars["queueing:"+s.Name] = queueing
+		a, z, m := replaySchedule(env, s, chip, samples, opts.Seed)
+		rows[k] = replay{s.Name, a, z, m}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	rep.addf("%-10s %10s %10s %10s %10s", "scheme", "Eq.2", "zero-load", "measured", "queueing")
+	for _, r := range rows {
+		queueing := r.measured - r.zero
+		rep.addf("%-10s %10.2f %10.2f %10.2f %10.2f", r.name, r.analytic, r.zero, r.measured, queueing)
+		rep.Scalars["analytic:"+r.name] = r.analytic
+		rep.Scalars["zeroload:"+r.name] = r.zero
+		rep.Scalars["measured:"+r.name] = r.measured
+		rep.Scalars["queueing:"+r.name] = queueing
 	}
 	rep.addf("Eq.2 counts hop traversals only; the event model adds router pipeline")
 	rep.addf("and flit serialization (constants) plus contention (queueing column).")

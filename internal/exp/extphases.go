@@ -1,6 +1,9 @@
 package exp
 
 import (
+	"maps"
+	"slices"
+
 	"cdcs/internal/core"
 	"cdcs/internal/mesh"
 	"cdcs/internal/perfmodel"
@@ -35,25 +38,41 @@ func runExtPhases(opts Options) (*Report, error) {
 	bgPenalty := sim.ReconfigPenalty(rp, sim.BackgroundInvs) / epochCycles
 	bulkPenalty := sim.ReconfigPenalty(rp, sim.BulkInvs) / epochCycles
 
-	var bgIPC, bulkIPC, staticIPC, oracleIPC []float64
-	var staticRes core.Result
-	for e := 0; e < epochs; e++ {
-		mix := mixAtEpoch(apps, e)
+	// Pass 1: each epoch's mix materialization, reconfiguration and adaptive
+	// evaluation is an independent engine job.
+	mixes := make([]*workload.Mix, epochs)
+	epochRes := make([]core.Result, epochs)
+	adaptiveIPC := make([]float64, epochs)
+	if err := opts.engine().ForEach(epochs, func(e int) error {
+		mixes[e] = mixAtEpoch(apps, e)
 		cfg := core.Config{Chip: env.Chip, Model: env.Model, Feats: core.AllCDCS()}
-		res, err := core.Reconfigure(cfg, mix, nil)
+		res, err := core.Reconfigure(cfg, mixes[e], nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if e == 0 {
-			staticRes = res
-		}
-		adaptive := evalSchedule(env, mix, res)
-		static := evalSchedule(env, mix, staticRes)
+		epochRes[e] = res
+		adaptiveIPC[e] = evalSchedule(env, mixes[e], res)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 
-		bgIPC = append(bgIPC, adaptive*(1-bgPenalty))
-		bulkIPC = append(bulkIPC, adaptive*(1-bulkPenalty))
-		staticIPC = append(staticIPC, static)
-		oracleIPC = append(oracleIPC, adaptive)
+	// Pass 2: the static schedule is epoch 0's reconfiguration evaluated
+	// against every later phase (needs pass 1's first result). evalSchedule
+	// is a cheap in-memory model evaluation, so no fan-out.
+	staticRes := epochRes[0]
+	staticIPC := make([]float64, epochs)
+	for e := range staticIPC {
+		staticIPC[e] = evalSchedule(env, mixes[e], staticRes)
+	}
+
+	bgIPC := make([]float64, epochs)
+	bulkIPC := make([]float64, epochs)
+	oracleIPC := make([]float64, epochs)
+	for e := 0; e < epochs; e++ {
+		bgIPC[e] = adaptiveIPC[e] * (1 - bgPenalty)
+		bulkIPC[e] = adaptiveIPC[e] * (1 - bulkPenalty)
+		oracleIPC[e] = adaptiveIPC[e]
 	}
 
 	report := func(name string, xs []float64) float64 {
@@ -101,12 +120,13 @@ func evalSchedule(env policy.Env, mix *workload.Mix, res core.Result) float64 {
 		th := &mix.Threads[t]
 		in := perfmodel.ThreadInput{CPIBase: th.CPIBase, MLP: th.MLP}
 		corePos := res.ThreadCore[t]
-		for v, apki := range th.Access {
+		// VC-id order keeps the model's reductions map-order independent.
+		for _, v := range slices.Sorted(maps.Keys(th.Access)) {
 			size := res.VCSizes[v]
 			ratio := mix.VCs[v].MissRatio.Eval(size)
 			hops, memHops := resultHops(env, res.Assignment[v], size, corePos)
 			in.Accesses = append(in.Accesses, perfmodel.VCAccess{
-				APKI: apki, MissRatio: ratio, AvgHops: hops, MemHops: memHops,
+				APKI: th.Access[v], MissRatio: ratio, AvgHops: hops, MemHops: memHops,
 			})
 		}
 		inputs[t] = in
@@ -120,8 +140,9 @@ func resultHops(env policy.Env, alloc map[mesh.Tile]float64, size float64, coreP
 		return 0, env.Chip.Topo.AvgMemDistance(corePos)
 	}
 	var hops, memHops float64
-	for b, lines := range alloc {
-		frac := lines / size
+	// Bank order keeps the float sums reproducible (map order is random).
+	for _, b := range slices.Sorted(maps.Keys(alloc)) {
+		frac := alloc[b] / size
 		hops += frac * float64(env.Chip.Topo.Distance(corePos, b))
 		memHops += frac * env.Chip.Topo.AvgMemDistance(b)
 	}

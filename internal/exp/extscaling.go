@@ -33,7 +33,7 @@ func runExtScaling(opts Options) (*Report, error) {
 	for _, sz := range sizes {
 		env := policy.ScaledEnv(sz.w, sz.h)
 		n := sz.w * sz.h
-		res, err := sim.RunCampaign(env, schemes, mixes, opts.Seed, func(rng *rand.Rand) *workload.Mix {
+		res, err := opts.engine().RunCampaign(env, schemes, mixes, opts.Seed, func(rng *rand.Rand) *workload.Mix {
 			return workload.RandomST(rng, cpu, n)
 		})
 		if err != nil {

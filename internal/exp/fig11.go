@@ -26,11 +26,12 @@ func allSchemes() []policy.Scheme {
 	}
 }
 
-// stCampaign runs nApps-sized single-threaded mixes under all schemes.
+// stCampaign runs nApps-sized single-threaded mixes under all schemes on
+// the options' engine.
 func stCampaign(opts Options, nApps int) ([]sim.CampaignResult, error) {
 	env := policy.DefaultEnv()
 	cpu := workload.SPECCPU()
-	return sim.RunCampaign(env, allSchemes(), opts.Mixes, opts.Seed, func(rng *rand.Rand) *workload.Mix {
+	return opts.engine().RunCampaign(env, allSchemes(), opts.Mixes, opts.Seed, func(rng *rand.Rand) *workload.Mix {
 		return workload.RandomST(rng, cpu, nApps)
 	})
 }
@@ -102,7 +103,7 @@ func runFig12(opts Options) (*Report, error) {
 		variant("+LTD", core.AllCDCS()),
 	}
 	for _, nApps := range []int{64, 4} {
-		res, err := sim.RunCampaign(env, schemes, opts.Mixes, opts.Seed, func(rng *rand.Rand) *workload.Mix {
+		res, err := opts.engine().RunCampaign(env, schemes, opts.Mixes, opts.Seed, func(rng *rand.Rand) *workload.Mix {
 			return workload.RandomST(rng, cpu, nApps)
 		})
 		if err != nil {

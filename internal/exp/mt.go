@@ -19,7 +19,7 @@ func runFig15(opts Options) (*Report, error) {
 	rep := newReport("fig15", "Multithreaded mixes: 8x 8-thread apps (Fig. 15)")
 	env := policy.DefaultEnv()
 	omp := workload.SPECOMP()
-	res, err := sim.RunCampaign(env, allSchemes(), opts.Mixes, opts.Seed, func(rng *rand.Rand) *workload.Mix {
+	res, err := opts.engine().RunCampaign(env, allSchemes(), opts.Mixes, opts.Seed, func(rng *rand.Rand) *workload.Mix {
 		return workload.RandomMT(rng, omp, 8)
 	})
 	if err != nil {
@@ -35,7 +35,7 @@ func runFig16(opts Options) (*Report, error) {
 	rep := newReport("fig16", "Under-committed MT mixes: 4x 8-thread apps (Fig. 16)")
 	env := policy.DefaultEnv()
 	omp := workload.SPECOMP()
-	res, err := sim.RunCampaign(env, allSchemes(), opts.Mixes, opts.Seed, func(rng *rand.Rand) *workload.Mix {
+	res, err := opts.engine().RunCampaign(env, allSchemes(), opts.Mixes, opts.Seed, func(rng *rand.Rand) *workload.Mix {
 		return workload.RandomMT(rng, omp, 4)
 	})
 	if err != nil {

@@ -19,14 +19,20 @@ func init() {
 func reconfigParamsFromCampaign(opts Options) (sim.ReconfigParams, float64, error) {
 	env := policy.DefaultEnv()
 	mix := workload.RandomST(rand.New(rand.NewSource(opts.Seed)), workload.SPECCPU(), 64)
-	base, err := sim.RunMix(env, policy.SchemeSNUCA, mix, rand.New(rand.NewSource(opts.Seed+1)))
-	if err != nil {
+	// The S-NUCA baseline and the CDCS run are independent engine jobs.
+	schemes := []policy.Scheme{policy.SchemeSNUCA, policy.SchemeCDCS}
+	runs := make([]sim.MixResult, len(schemes))
+	if err := opts.engine().ForEach(len(schemes), func(i int) error {
+		r, err := sim.RunMix(env, schemes[i], mix, rand.New(rand.NewSource(opts.Seed+1+int64(i))))
+		if err != nil {
+			return err
+		}
+		runs[i] = r
+		return nil
+	}); err != nil {
 		return sim.ReconfigParams{}, 0, err
 	}
-	res, err := sim.RunMix(env, policy.SchemeCDCS, mix, rand.New(rand.NewSource(opts.Seed+2)))
-	if err != nil {
-		return sim.ReconfigParams{}, 0, err
-	}
+	base, res := runs[0], runs[1]
 	p := sim.DefaultReconfigParams()
 	p.Cores = env.Chip.Banks()
 	p.SteadyIPC = res.Chip.AggIPC / float64(p.Cores)
@@ -57,6 +63,8 @@ func runFig17(opts Options) (*Report, error) {
 	const window, at, bucket = 2e6, 2e5, 5e4
 	schemes := []sim.MoveScheme{sim.InstantMoves, sim.BackgroundInvs, sim.BulkInvs}
 	traces := make([][]sim.IPCPoint, len(schemes))
+	// The transient model is closed-form arithmetic (~40 points per scheme):
+	// not worth a fan-out.
 	for i, s := range schemes {
 		traces[i] = sim.SimulateReconfig(p, s, window, at, bucket)
 		key := "ipc:" + s.String()

@@ -8,7 +8,6 @@ import (
 	"cdcs/internal/monitor"
 	"cdcs/internal/place"
 	"cdcs/internal/policy"
-	"cdcs/internal/sim"
 	"cdcs/internal/stats"
 	"cdcs/internal/trace"
 	"cdcs/internal/workload"
@@ -38,26 +37,32 @@ func runSec6CILP(opts Options) (*Report, error) {
 	rep := newReport("sec6c-ilp", "CDCS vs optimal (ILP/MCMF) data placement (§VI-C)")
 	env := policy.DefaultEnv()
 	cpu := workload.SPECCPU()
-	var rels []float64
 	n := opts.Mixes
 	if n > 10 {
 		n = 10 // the exact solve is expensive; 10 mixes give a stable mean
 	}
-	for m := 0; m < n; m++ {
+	// One engine job per mix; perMix[m] stays NaN when the optimum is
+	// degenerate so the mean skips it (matching the sequential filter).
+	perMix := make([]float64, n)
+	if err := opts.engine().ForEach(n, func(m int) error {
+		perMix[m] = math.NaN()
 		mix := workload.RandomST(rand.New(rand.NewSource(opts.Seed+int64(m))), cpu, 64)
 		s, err := policy.Build(env, policy.SchemeCDCS, mix, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		demands := cdcsDemands(mix, s)
 		cdcsLat := place.OnChipLatency(env.Chip, demands, s.Core.Assignment, s.ThreadCore)
 		optAssign := place.OptimalTransport(env.Chip, demands, s.ThreadCore, env.Chip.BankLines/16)
 		optLat := place.OnChipLatency(env.Chip, demands, optAssign, s.ThreadCore)
 		if optLat > 0 {
-			rels = append(rels, cdcsLat/optLat)
+			perMix[m] = cdcsLat / optLat
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	meanRel := stats.Mean(rels)
+	meanRel := stats.Mean(finite(perMix))
 	rep.Scalars["cdcsOverOptimal"] = meanRel
 	rep.addf("CDCS on-chip latency vs exact optimum: %.3fx (paper: optimal ~0.5%% better WS)", meanRel)
 	return rep, nil
@@ -69,25 +74,30 @@ func runSec6CAnneal(opts Options) (*Report, error) {
 	rep := newReport("sec6c-anneal", "CDCS vs simulated-annealing thread placement (§VI-C)")
 	env := policy.DefaultEnv()
 	cpu := workload.SPECCPU()
-	var rels []float64
 	n := opts.Mixes
 	if n > 10 {
 		n = 10
 	}
-	for m := 0; m < n; m++ {
+	perMix := make([]float64, n)
+	if err := opts.engine().ForEach(n, func(m int) error {
+		perMix[m] = math.NaN()
 		mix := workload.RandomST(rand.New(rand.NewSource(opts.Seed+int64(m))), cpu, 64)
 		s, err := policy.Build(env, policy.SchemeCDCS, mix, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		demands := cdcsDemands(mix, s)
 		cdcsLat := place.OnChipLatency(env.Chip, demands, s.Core.Assignment, s.ThreadCore)
 		_, annealLat := place.AnnealThreads(env.Chip, demands, s.Core.Assignment, s.ThreadCore,
 			5000, rand.New(rand.NewSource(opts.Seed+100+int64(m))))
 		if annealLat > 0 {
-			rels = append(rels, cdcsLat/annealLat)
+			perMix[m] = cdcsLat / annealLat
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	rels := finite(perMix)
 	rep.Scalars["cdcsOverAnneal"] = stats.Mean(rels)
 	rep.addf("CDCS on-chip latency vs annealed threads: %.3fx (paper: annealing ~0.6%% better)", stats.Mean(rels))
 	return rep, nil
@@ -100,16 +110,17 @@ func runSec6CGraph(opts Options) (*Report, error) {
 	rep := newReport("sec6c-graph", "CDCS vs graph-partitioned thread placement (§VI-C)")
 	env := policy.DefaultEnv()
 	omp := workload.SPECOMP()
-	var rels []float64
 	n := opts.Mixes
 	if n > 10 {
 		n = 10
 	}
-	for m := 0; m < n; m++ {
+	perMix := make([]float64, n)
+	if err := opts.engine().ForEach(n, func(m int) error {
+		perMix[m] = math.NaN()
 		mix := workload.RandomMT(rand.New(rand.NewSource(opts.Seed+int64(m))), omp, 8)
 		s, err := policy.Build(env, policy.SchemeCDCS, mix, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		demands := cdcsDemands(mix, s)
 		cdcsLat := place.OnChipLatency(env.Chip, demands, s.Core.Assignment, s.ThreadCore)
@@ -119,9 +130,13 @@ func runSec6CGraph(opts Options) (*Report, error) {
 		place.Refine(env.Chip, demands, gpAssign, gpThreads)
 		gpLat := place.OnChipLatency(env.Chip, demands, gpAssign, gpThreads)
 		if cdcsLat > 0 {
-			rels = append(rels, gpLat/cdcsLat)
+			perMix[m] = gpLat / cdcsLat
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	rels := finite(perMix)
 	rep.Scalars["graphOverCDCS"] = stats.Mean(rels)
 	rep.addf("graph-partitioned net latency vs CDCS: %.3fx (paper: +2.5%%)", stats.Mean(rels))
 	return rep, nil
@@ -158,8 +173,11 @@ func runSec6CGMON(opts Options) (*Report, error) {
 		{"UMON-512w", monitor.NewUMON(16, 512, maxLines)},
 	}
 	probes := []float64{256, 1024, 4096, 16384, maxLines / 2, maxLines}
-	rep.addf("%-10s %10s %10s", "monitor", "RMS err", "state KB")
-	for _, mo := range monitors {
+	// Each monitor design replays its own trace (same seed, as before): one
+	// engine job apiece.
+	rms := make([]float64, len(monitors))
+	if err := opts.engine().ForEach(len(monitors), func(k int) error {
+		mo := monitors[k]
 		gen := trace.NewGenerator(target, 0, rand.New(rand.NewSource(opts.Seed)))
 		for i := 0; i < nAccess; i++ {
 			mo.m.Access(gen.Next())
@@ -170,10 +188,16 @@ func runSec6CGMON(opts Options) (*Report, error) {
 			d := got.Eval(x) - target.Eval(x)
 			se += d * d
 		}
-		rms := math.Sqrt(se / float64(len(probes)))
+		rms[k] = math.Sqrt(se / float64(len(probes)))
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	rep.addf("%-10s %10s %10s", "monitor", "RMS err", "state KB")
+	for k, mo := range monitors {
 		kb := float64(mo.m.StateBytes()) / 1024
-		rep.addf("%-10s %10.4f %10.2f", mo.name, rms, kb)
-		rep.Scalars["rms:"+mo.name] = rms
+		rep.addf("%-10s %10.4f %10.2f", mo.name, rms[k], kb)
+		rep.Scalars["rms:"+mo.name] = rms[k]
 		rep.Scalars["kb:"+mo.name] = kb
 	}
 	return rep, nil
@@ -189,7 +213,7 @@ func runSec6CBank(opts Options) (*Report, error) {
 	coarse.BankGranular = true
 	coarse.Label = "CDCS-bank"
 	schemes := []policy.Scheme{policy.SchemeSNUCA, coarse, policy.SchemeCDCS}
-	res, err := sim.RunCampaign(env, schemes, opts.Mixes, opts.Seed, func(rng *rand.Rand) *workload.Mix {
+	res, err := opts.engine().RunCampaign(env, schemes, opts.Mixes, opts.Seed, func(rng *rand.Rand) *workload.Mix {
 		return workload.RandomST(rng, cpu, 64)
 	})
 	if err != nil {

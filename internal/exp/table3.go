@@ -40,7 +40,15 @@ func runTable3(opts Options) (*Report, error) {
 
 	rep.addf("%-14s %12s %12s %12s %12s %10s", "threads/cores",
 		"alloc(Mcyc)", "thread(Mcyc)", "data(Mcyc)", "total(Mcyc)", "ovh@25ms")
+	// Table 3 measures wall time of the reconfiguration steps, so the runs
+	// stay strictly sequential — concurrent jobs would contend for cores and
+	// inflate the measured latencies. Cancellation is still honored between
+	// points.
+	ctx := opts.ctx()
 	for _, pt := range points {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		env := policy.ScaledEnv(pt.w, pt.h)
 		cfg := core.Config{
 			Chip:  place.Chip{Topo: mesh.New(pt.w, pt.h), BankLines: env.Chip.BankLines},

@@ -10,6 +10,8 @@ package mesh
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 )
 
@@ -186,10 +188,13 @@ func (t *Topology) CenterTile() Tile {
 
 // CenterOfMass computes the continuous center of mass of a weighted set of
 // tiles and returns it as fractional coordinates. Zero total weight returns
-// the chip center.
+// the chip center. Tiles are accumulated in index order so the result does
+// not depend on map iteration order (placement tie-breaks are sensitive to
+// the last ulp).
 func (t *Topology) CenterOfMass(weight map[Tile]float64) (x, y float64) {
 	var wx, wy, wsum float64
-	for tile, w := range weight {
+	for _, tile := range slices.Sorted(maps.Keys(weight)) {
+		w := weight[tile]
 		tx, ty := t.Coords(tile)
 		wx += w * float64(tx)
 		wy += w * float64(ty)

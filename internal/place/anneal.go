@@ -40,14 +40,16 @@ func AnnealThreads(chip Chip, demands []Demand, assign Assignment, threadCore []
 		if vcFrac[v] == nil {
 			continue
 		}
-		for t, rate := range d.Accessors {
+		banks := sortedBanks(vcFrac[v])
+		for _, t := range sortedAccessors(d.Accessors) {
 			if t >= nT {
 				continue
 			}
+			rate := d.Accessors[t]
 			for c := 0; c < nC; c++ {
 				sum := 0.0
-				for b, frac := range vcFrac[v] {
-					sum += frac * float64(chip.Topo.Distance(mesh.Tile(c), b))
+				for _, b := range banks {
+					sum += vcFrac[v][b] * float64(chip.Topo.Distance(mesh.Tile(c), b))
 				}
 				threadCost[t][c] += rate * sum
 			}

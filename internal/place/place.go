@@ -8,10 +8,25 @@ package place
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 
 	"cdcs/internal/mesh"
 )
+
+// sortedBanks returns an allocation map's bank keys in ascending order.
+// Placement sums floating-point contributions across banks and threads;
+// iterating maps directly would make results depend on Go's randomized map
+// order, so every order-sensitive reduction walks keys sorted.
+func sortedBanks(m map[mesh.Tile]float64) []mesh.Tile {
+	return slices.Sorted(maps.Keys(m))
+}
+
+// sortedAccessors returns a demand's accessor thread ids in ascending order.
+func sortedAccessors(m map[int]float64) []int {
+	return slices.Sorted(maps.Keys(m))
+}
 
 // Chip is the placement substrate: a mesh of tiles, each with one core and
 // one LLC bank of BankLines lines.
@@ -35,11 +50,12 @@ type Demand struct {
 	Accessors map[int]float64
 }
 
-// TotalRate sums accessor rates.
+// TotalRate sums accessor rates (in thread-id order, for bit-reproducible
+// results).
 func (d Demand) TotalRate() float64 {
 	s := 0.0
-	for _, r := range d.Accessors {
-		s += r
+	for _, t := range sortedAccessors(d.Accessors) {
+		s += d.Accessors[t]
 	}
 	return s
 }
@@ -56,11 +72,12 @@ func NewAssignment(n int) Assignment {
 	return a
 }
 
-// Placed returns the total lines VC v has placed.
+// Placed returns the total lines VC v has placed (summed in bank order, for
+// bit-reproducible results).
 func (a Assignment) Placed(v int) float64 {
 	s := 0.0
-	for _, lines := range a[v] {
-		s += lines
+	for _, b := range sortedBanks(a[v]) {
+		s += a[v][b]
 	}
 	return s
 }
@@ -126,14 +143,15 @@ func VCDistances(chip Chip, demands []Demand, threadCore []mesh.Tile) [][]float6
 	for v, d := range demands {
 		row := make([]float64, n)
 		total := d.TotalRate()
+		accessors := sortedAccessors(d.Accessors)
 		for b := 0; b < n; b++ {
 			if total == 0 {
 				row[b] = float64(chip.Topo.Distance(center, mesh.Tile(b)))
 				continue
 			}
 			sum := 0.0
-			for t, rate := range d.Accessors {
-				sum += rate * float64(chip.Topo.Distance(threadCore[t], mesh.Tile(b)))
+			for _, t := range accessors {
+				sum += d.Accessors[t] * float64(chip.Topo.Distance(threadCore[t], mesh.Tile(b)))
 			}
 			row[b] = sum / total
 		}
@@ -152,10 +170,11 @@ func OnChipLatency(chip Chip, demands []Demand, assign Assignment, threadCore []
 		if size <= 0 {
 			continue
 		}
-		for b, lines := range assign[v] {
-			frac := lines / size
-			for t, rate := range d.Accessors {
-				total += rate * frac * float64(chip.Topo.Distance(threadCore[t], b))
+		accessors := sortedAccessors(d.Accessors)
+		for _, b := range sortedBanks(assign[v]) {
+			frac := assign[v][b] / size
+			for _, t := range accessors {
+				total += d.Accessors[t] * frac * float64(chip.Topo.Distance(threadCore[t], b))
 			}
 		}
 	}

@@ -150,8 +150,8 @@ func RefineRounds(chip Chip, demands []Demand, assign Assignment, threadCore []m
 func preferredCenter(chip Chip, d Demand, alloc map[mesh.Tile]float64, threadCore []mesh.Tile) mesh.Tile {
 	if d.TotalRate() > 0 {
 		w := make(map[mesh.Tile]float64, len(d.Accessors))
-		for t, rate := range d.Accessors {
-			w[threadCore[t]] += rate
+		for _, t := range sortedAccessors(d.Accessors) {
+			w[threadCore[t]] += d.Accessors[t]
 		}
 		x, y := chip.Topo.CenterOfMass(w)
 		return chip.Topo.NearestTile(x, y)

@@ -9,7 +9,9 @@ package policy
 
 import (
 	"fmt"
+	"maps"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"cdcs/internal/alloc"
@@ -249,8 +251,8 @@ func assignmentHops(env Env, alloc map[mesh.Tile]float64, size float64, core mes
 		return 0, env.Chip.Topo.AvgMemDistance(core)
 	}
 	var hops, memHops float64
-	for b, lines := range alloc {
-		frac := lines / size
+	for _, b := range slices.Sorted(maps.Keys(alloc)) {
+		frac := alloc[b] / size
 		hops += frac * float64(env.Chip.Topo.Distance(core, b))
 		memHops += frac * env.Chip.Topo.AvgMemDistance(b)
 	}
@@ -264,10 +266,12 @@ func buildInputs(env Env, mix *workload.Mix, threadCore []mesh.Tile, ratios []fl
 	for t := range mix.Threads {
 		th := &mix.Threads[t]
 		in := perfmodel.ThreadInput{CPIBase: th.CPIBase, MLP: th.MLP}
-		for v, apki := range th.Access {
+		// VC-id order keeps the Accesses slice (and the model's reductions
+		// over it) independent of map iteration order.
+		for _, v := range slices.Sorted(maps.Keys(th.Access)) {
 			ah, mh := hops(t, v)
 			in.Accesses = append(in.Accesses, perfmodel.VCAccess{
-				APKI:      apki,
+				APKI:      th.Access[v],
 				MissRatio: ratios[v],
 				AvgHops:   ah,
 				MemHops:   mh,

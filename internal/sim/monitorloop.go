@@ -32,17 +32,14 @@ func MonitoredCurve(trueCurve curves.Curve, totalLines float64, accesses int, ba
 // MonitoredMix reconstructs every VC miss curve in a mix through GMONs,
 // returning measured curves parallel to mix.VCs. Access counts per VC are
 // proportional to the VC's intensity (heavier VCs get better-sampled
-// curves, as in the real system where monitors see live traffic).
+// curves, as in the real system where monitors see live traffic). Each VC's
+// monitor runs as an independent job on a default Engine.
 func MonitoredMix(mix *workload.Mix, totalLines float64, baseAccesses int, seed int64) []curves.Curve {
-	out := make([]curves.Curve, len(mix.VCs))
-	for v := range mix.VCs {
-		vc := &mix.VCs[v]
-		// Scale sampling effort with intensity, bounded to keep runtime sane.
-		n := int(float64(baseAccesses) * (0.25 + vc.TotalAPKI()/40))
-		if n > 4*baseAccesses {
-			n = 4 * baseAccesses
-		}
-		out[v] = MonitoredCurve(vc.MissRatio, totalLines, n, cachesim.Addr(v)<<40, seed+int64(v))
+	out, err := Engine{}.MonitoredMix(mix, totalLines, baseAccesses, seed)
+	if err != nil {
+		// A default Engine has a background context and the per-VC jobs
+		// cannot fail, so this is unreachable.
+		panic(err)
 	}
 	return out
 }

@@ -2,7 +2,9 @@ package workload
 
 import (
 	"fmt"
+	"maps"
 	"math/rand"
+	"slices"
 
 	"cdcs/internal/curves"
 )
@@ -43,11 +45,12 @@ type VC struct {
 	Accessors map[int]float64
 }
 
-// TotalAPKI sums access intensity over all accessor threads.
+// TotalAPKI sums access intensity over all accessor threads (in thread-id
+// order, so the floating-point sum is reproducible run to run).
 func (v *VC) TotalAPKI() float64 {
 	sum := 0.0
-	for _, a := range v.Accessors {
-		sum += a
+	for _, t := range slices.Sorted(maps.Keys(v.Accessors)) {
+		sum += v.Accessors[t]
 	}
 	return sum
 }
@@ -67,11 +70,12 @@ type Thread struct {
 	Access map[int]float64
 }
 
-// TotalAPKI sums the thread's access intensity over all VCs.
+// TotalAPKI sums the thread's access intensity over all VCs (in VC-id order,
+// so the floating-point sum is reproducible run to run).
 func (t *Thread) TotalAPKI() float64 {
 	sum := 0.0
-	for _, a := range t.Access {
-		sum += a
+	for _, v := range slices.Sorted(maps.Keys(t.Access)) {
+		sum += t.Access[v]
 	}
 	return sum
 }
