@@ -39,18 +39,20 @@ import (
 )
 
 // Config describes the modeled CMP. The zero value is not valid; start from
-// DefaultConfig.
+// DefaultConfig. The JSON form is part of the serving API (cmd/cdcs-serve)
+// and feeds the canonical request hash, so field tags are stable.
 type Config struct {
 	// MeshWidth and MeshHeight set the tile grid (the paper: 8×8).
-	MeshWidth, MeshHeight int
+	MeshWidth  int `json:"mesh_width"`
+	MeshHeight int `json:"mesh_height"`
 	// BankKB is the per-tile LLC bank capacity in KB (the paper: 512).
-	BankKB int
+	BankKB int `json:"bank_kb"`
 	// BankLatency, HopLatency, MemLatency are in cycles.
-	BankLatency float64
-	HopLatency  float64
-	MemLatency  float64
+	BankLatency float64 `json:"bank_latency"`
+	HopLatency  float64 `json:"hop_latency"`
+	MemLatency  float64 `json:"mem_latency"`
 	// MemChannels and MemBandwidthGBs describe the memory system.
-	MemChannels int
+	MemChannels int `json:"mem_channels"`
 }
 
 // DefaultConfig returns the paper's 64-tile configuration (Table 2).
@@ -261,24 +263,27 @@ func MTBenchmarks() []string {
 	return out
 }
 
-// Result is one scheme's outcome on a mix.
+// Result is one scheme's outcome on a mix. The JSON form is part of the
+// serving API (cmd/cdcs-serve); cached and freshly computed responses are
+// byte-identical because simulation is bit-deterministic (see sim.Engine).
 type Result struct {
 	// Scheme is the display name.
-	Scheme string
+	Scheme string `json:"scheme"`
 	// PerApp is each app's progress rate (IPC; min-thread IPC for MT apps).
-	PerApp []float64
+	PerApp []float64 `json:"per_app"`
 	// AggIPC is chip-wide IPC.
-	AggIPC float64
+	AggIPC float64 `json:"agg_ipc"`
 	// OnChipPKI / OffChipPKI are mean latency cycles per kilo-instruction.
-	OnChipPKI, OffChipPKI float64
+	OnChipPKI  float64 `json:"on_chip_pki"`
+	OffChipPKI float64 `json:"off_chip_pki"`
 	// TrafficPerInstr is NoC traffic in flit-hops per instruction.
-	TrafficPerInstr float64
+	TrafficPerInstr float64 `json:"traffic_per_instr"`
 	// EnergyPJPerInstr is energy per instruction in picojoules.
-	EnergyPJPerInstr float64
+	EnergyPJPerInstr float64 `json:"energy_pj_per_instr"`
 	// ThreadCores maps thread index to core tile index.
-	ThreadCores []int
+	ThreadCores []int `json:"thread_cores,omitempty"`
 	// VCSizesMB lists virtual-cache allocations in MB (partitioned schemes).
-	VCSizesMB []float64
+	VCSizesMB []float64 `json:"vc_sizes_mb,omitempty"`
 }
 
 // Run evaluates one scheme on a mix. The seed drives random thread
@@ -307,14 +312,14 @@ func (s *System) Run(scheme Scheme, mix *Mix, seed int64) (*Result, error) {
 }
 
 // Comparison holds several schemes evaluated on one mix against the first
-// scheme as baseline.
+// scheme as baseline. The JSON form is part of the serving API.
 type Comparison struct {
 	// Baseline is the name of the baseline scheme.
-	Baseline string
+	Baseline string `json:"baseline"`
 	// Results maps scheme name to its Result.
-	Results map[string]*Result
+	Results map[string]*Result `json:"results"`
 	// WeightedSpeedup maps scheme name to its weighted speedup vs baseline.
-	WeightedSpeedup map[string]float64
+	WeightedSpeedup map[string]float64 `json:"weighted_speedup"`
 }
 
 // RunOptions controls parallel execution of Compare and Experiment calls.

@@ -1,0 +1,112 @@
+// Command cdcs-serve exposes the simulator as an HTTP JSON service with a
+// content-addressed result cache in front of a bounded job queue:
+//
+//	cdcs-serve                       # serve on :8080
+//	cdcs-serve -addr 127.0.0.1:0     # ephemeral port (printed on startup)
+//
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/v1/experiments
+//	curl -s -X POST localhost:8080/v1/compare \
+//	  -d '{"mix":{"kind":"random","seed":1,"n":16},"schemes":["S-NUCA","CDCS"],"seed":1}'
+//	curl -s -X POST localhost:8080/v1/experiment -d '{"id":"fig11","quick":true}'
+//	curl -s localhost:8080/v1/jobs/j1
+//	curl -sN 'localhost:8080/v1/jobs/j1?watch=1'   # SSE progress stream
+//
+// Identical requests are served from cache (byte-identical to a fresh run —
+// simulation is bit-deterministic) and concurrent identical requests
+// coalesce onto a single simulation. See /metrics for cache and queue
+// counters.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cdcs/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address (host:0 picks an ephemeral port)")
+		cache   = flag.Int("cache", 4096, "result cache capacity in entries")
+		queue   = flag.Int("queue", 256, "job queue depth (submissions beyond it get 503)")
+		workers = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS/2)")
+		jobs    = flag.Int("j", 0, "max parallel simulation jobs per request (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 15*time.Minute, "per-job timeout (0 = none)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "cdcs-serve: unexpected arguments: %v\n", flag.Args())
+		flag.PrintDefaults()
+		return 2
+	}
+
+	jobTimeout := *timeout
+	if jobTimeout == 0 {
+		jobTimeout = -1 // flag 0 = no timeout; Options treats 0 as "default"
+	}
+	srv := server.New(server.Options{
+		CacheEntries:   *cache,
+		QueueDepth:     *queue,
+		Workers:        *workers,
+		JobTimeout:     jobTimeout,
+		SimParallelism: *jobs,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdcs-serve: listen: %v\n", err)
+		return 1
+	}
+	// The resolved address goes to stdout so scripts (e.g. the CI smoke job)
+	// can scrape the ephemeral port.
+	fmt.Printf("cdcs-serve: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "cdcs-serve: %v\n", err)
+			return 1
+		}
+		return 0
+	case <-ctx.Done():
+	}
+
+	// Graceful drain. Cancel jobs first: handlers blocked on a job (a
+	// synchronous compare, an SSE watcher) only return once their job
+	// reaches a terminal state, and http.Server.Shutdown waits for exactly
+	// those handlers — in the other order a long simulation would pin
+	// Shutdown until its timeout and turn every drain into a failure.
+	fmt.Fprintln(os.Stderr, "cdcs-serve: shutting down")
+	srv.Close()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "cdcs-serve: shutdown: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -5,11 +5,17 @@
 //	cdcs-trace -what reconfig > fig17.csv
 //	cdcs-trace -what misscurves > fig2.csv
 //	cdcs-trace -what latency -bench omnet > fig5.csv
+//
+// Exit status: 0 on success, 1 on failure (including output write errors,
+// so a full disk or broken pipe never yields a silently truncated CSV),
+// 2 on usage errors.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"cdcs/internal/alloc"
@@ -19,6 +25,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		what   = flag.String("what", "reconfig", "reconfig | misscurves | latency")
 		bench  = flag.String("bench", "omnet", "benchmark for -what latency")
@@ -26,23 +36,38 @@ func main() {
 		bucket = flag.Float64("bucket", 1e4, "sample interval in cycles (reconfig)")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "cdcs-trace: unexpected arguments: %v\n", flag.Args())
+		flag.PrintDefaults()
+		return 2
+	}
 
+	out := bufio.NewWriter(os.Stdout)
+	var err error
 	switch *what {
 	case "reconfig":
-		emitReconfig(*window, *bucket)
+		err = emitReconfig(out, *window, *bucket)
 	case "misscurves":
-		emitMissCurves()
+		err = emitMissCurves(out)
 	case "latency":
-		emitLatency(*bench)
+		err = emitLatency(out, *bench)
 	default:
 		fmt.Fprintf(os.Stderr, "cdcs-trace: unknown -what %q\n", *what)
-		os.Exit(2)
+		return 2
 	}
+	if err == nil {
+		err = out.Flush()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdcs-trace: %v\n", err)
+		return 1
+	}
+	return 0
 }
 
 // emitReconfig writes the Fig. 17 aggregate-IPC traces for all three data
 // movement schemes.
-func emitReconfig(window, bucket float64) {
+func emitReconfig(w io.Writer, window, bucket float64) error {
 	p := sim.DefaultReconfigParams()
 	const at = 2e5
 	schemes := []sim.MoveScheme{sim.InstantMoves, sim.BackgroundInvs, sim.BulkInvs}
@@ -50,45 +75,53 @@ func emitReconfig(window, bucket float64) {
 	for i, s := range schemes {
 		traces[i] = sim.SimulateReconfig(p, s, window, at, bucket)
 	}
-	fmt.Println("cycle,instant_moves,background_invs,bulk_invs")
+	fmt.Fprintln(w, "cycle,instant_moves,background_invs,bulk_invs")
 	for j := range traces[0] {
-		fmt.Printf("%.0f,%.3f,%.3f,%.3f\n",
-			traces[0][j].Cycle, traces[0][j].AggIPC, traces[1][j].AggIPC, traces[2][j].AggIPC)
+		if _, err := fmt.Fprintf(w, "%.0f,%.3f,%.3f,%.3f\n",
+			traces[0][j].Cycle, traces[0][j].AggIPC, traces[1][j].AggIPC, traces[2][j].AggIPC); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // emitMissCurves writes every profile's MPKI curve (Fig. 2 and beyond).
-func emitMissCurves() {
+func emitMissCurves(w io.Writer) error {
 	profiles := workload.SPECCPU()
-	fmt.Print("mb")
+	fmt.Fprint(w, "mb")
 	for _, p := range profiles {
-		fmt.Printf(",%s", p.Name)
+		fmt.Fprintf(w, ",%s", p.Name)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for mb := 0.125; mb <= 32; mb *= 2 {
-		fmt.Printf("%.3f", mb)
+		fmt.Fprintf(w, "%.3f", mb)
 		for _, p := range profiles {
-			fmt.Printf(",%.2f", p.MPKI(mb*workload.LinesPerMB))
+			fmt.Fprintf(w, ",%.2f", p.MPKI(mb*workload.LinesPerMB))
 		}
-		fmt.Println()
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // emitLatency writes the Fig. 5 off-chip/on-chip/total decomposition for one
 // benchmark on the 64-tile chip.
-func emitLatency(bench string) {
+func emitLatency(w io.Writer, bench string) error {
 	p := workload.ByName(workload.SPECCPU(), bench)
 	if p == nil {
-		fmt.Fprintf(os.Stderr, "cdcs-trace: unknown benchmark %q\n", bench)
-		os.Exit(2)
+		return fmt.Errorf("unknown benchmark %q", bench)
 	}
 	env := policy.DefaultEnv()
 	dist := alloc.CompactDistance(env.Chip.Topo, env.Chip.BankLines)
-	fmt.Println("mb,offchip,onchip,total")
+	fmt.Fprintln(w, "mb,offchip,onchip,total")
 	for mb := 0.25; mb <= 32; mb += 0.25 {
 		lines := mb * workload.LinesPerMB
 		off := p.APKI * p.MissRatio.Eval(lines) * env.Model.MemLatency
 		on := p.APKI * dist.Eval(lines) * env.Model.HopLatency * env.Model.RoundTrip
-		fmt.Printf("%.2f,%.2f,%.2f,%.2f\n", mb, off, on, off+on)
+		if _, err := fmt.Fprintf(w, "%.2f,%.2f,%.2f,%.2f\n", mb, off, on, off+on); err != nil {
+			return err
+		}
 	}
+	return nil
 }

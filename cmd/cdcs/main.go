@@ -9,9 +9,13 @@
 //
 // Simulation jobs fan out over a worker pool (-j, default all cores);
 // results are bit-identical for any worker count. Ctrl-C cancels the run.
+//
+// Exit status: 0 on success, 1 on any failure (unknown experiment, canceled
+// run, output write error), 2 on usage errors.
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -24,6 +28,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		id    = flag.String("exp", "", "experiment id to run (see -list)")
 		all   = flag.Bool("all", false, "run every experiment (alphabetical id order, as in -list)")
@@ -35,11 +43,35 @@ func main() {
 	)
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "cdcs: unexpected arguments: %v\n", flag.Args())
+		flag.PrintDefaults()
+		return 2
+	}
+	if *all && *id != "" {
+		fmt.Fprintln(os.Stderr, "cdcs: -exp and -all are mutually exclusive")
+		return 2
+	}
+
+	// Reports stream through one checked writer: a failed write (closed
+	// pipe, full disk) must fail the run, not silently truncate output.
+	out := bufio.NewWriter(os.Stdout)
+	flush := func() error {
+		if err := out.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "cdcs: writing output: %v\n", err)
+			return err
+		}
+		return nil
+	}
+
 	if *list {
 		for _, e := range exp.IDs() {
-			fmt.Println(e)
+			fmt.Fprintln(out, e)
 		}
-		return
+		if flush() != nil {
+			return 1
+		}
+		return 0
 	}
 
 	// Ctrl-C cancels in-flight simulation jobs instead of killing the
@@ -58,7 +90,7 @@ func main() {
 	opts.Parallelism = *jobs
 	opts.Context = ctx
 
-	run := func(e string, progress bool) error {
+	runOne := func(e string, progress bool) error {
 		o := opts
 		if progress {
 			o.Progress = func(done, total int) {
@@ -73,8 +105,11 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Print(rep.String())
-		fmt.Println()
+		fmt.Fprint(out, rep.String())
+		fmt.Fprintln(out)
+		if err := out.Flush(); err != nil {
+			return fmt.Errorf("writing output: %w", err)
+		}
 		if progress {
 			fmt.Fprintf(os.Stderr, "%-20s done in %.1fs\n", e, time.Since(start).Seconds())
 		}
@@ -87,21 +122,23 @@ func main() {
 		start := time.Now()
 		for k, e := range ids {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", k+1, len(ids), e)
-			if err := run(e, true); err != nil {
+			if err := runOne(e, true); err != nil {
 				fmt.Fprintf(os.Stderr, "cdcs: %s: %v\n", e, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		fmt.Fprintf(os.Stderr, "all %d experiments in %.1fs (-j %d)\n",
 			len(ids), time.Since(start).Seconds(), *jobs)
+		return 0
 	case *id != "":
-		if err := run(*id, false); err != nil {
+		if err := runOne(*id, false); err != nil {
 			fmt.Fprintf(os.Stderr, "cdcs: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
+		return 0
 	default:
 		fmt.Fprintln(os.Stderr, "cdcs: use -exp <id>, -all or -list")
 		flag.PrintDefaults()
-		os.Exit(2)
+		return 2
 	}
 }

@@ -1,0 +1,210 @@
+package resultcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(64)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.put("a", []byte("alpha"))
+	v, ok := c.Get("a")
+	if !ok || string(v) != "alpha" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// shardKeys returns distinct keys that all map to the same shard of c.
+func shardKeys(c *Cache, n int) []string {
+	target := c.shardFor(fmt.Sprint("seed"))
+	var out []string
+	for i := 0; len(out) < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if c.shardFor(k) == target {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// Capacity 2 per shard; steer all keys onto one shard so eviction order
+	// is fully observable.
+	c := New(2 * nShards)
+	k := shardKeys(c, 3)
+
+	c.put(k[0], []byte("0"))
+	c.put(k[1], []byte("1"))
+	// Touch k0 so k1 becomes least-recent, then overflow the shard.
+	if _, ok := c.Get(k[0]); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	c.put(k[2], []byte("2"))
+
+	if _, ok := c.peek(k[1]); ok {
+		t.Error("least-recently-used key survived eviction")
+	}
+	for _, want := range []string{k[0], k[2]} {
+		if _, ok := c.peek(want); !ok {
+			t.Errorf("recently-used key %s evicted", want)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestEvictionBoundsOccupancy(t *testing.T) {
+	const capacity = 2 * nShards
+	c := New(capacity)
+	for i := 0; i < 10*capacity; i++ {
+		c.put(fmt.Sprintf("k%d", i), []byte("x"))
+	}
+	st := c.Stats()
+	if st.Entries > capacity {
+		t.Errorf("entries = %d exceeds capacity %d", st.Entries, capacity)
+	}
+	if int(st.Evictions)+st.Entries != 10*capacity {
+		t.Errorf("evictions(%d) + entries(%d) != inserts(%d)", st.Evictions, st.Entries, 10*capacity)
+	}
+	if st.Bytes != int64(st.Entries) {
+		t.Errorf("bytes = %d, want %d", st.Bytes, st.Entries)
+	}
+}
+
+func TestPutRefreshSameKey(t *testing.T) {
+	c := New(64)
+	c.put("k", []byte("v1"))
+	c.put("k", []byte("longer-v2"))
+	v, ok := c.Get("k")
+	if !ok || string(v) != "longer-v2" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != int64(len("longer-v2")) || st.Evictions != 0 {
+		t.Errorf("stats after refresh = %+v", st)
+	}
+}
+
+func TestSingleflight100ConcurrentIdenticalRequests(t *testing.T) {
+	c := New(64)
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	results := make([][]byte, 100)
+	errs := make([]error, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			v, _, err := c.GetOrCompute(context.Background(), "hot", func() ([]byte, error) {
+				computes.Add(1)
+				time.Sleep(50 * time.Millisecond) // let the herd pile up
+				return []byte("result"), nil
+			})
+			results[i], errs[i] = v, err
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want exactly 1", n)
+	}
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if string(results[i]) != "result" {
+			t.Errorf("caller %d got %q", i, results[i])
+		}
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses+st.Coalesced == 0 {
+		t.Error("no cache activity recorded")
+	}
+	if st.Inflight != 0 {
+		t.Errorf("inflight = %d after all flights landed", st.Inflight)
+	}
+	// Exactly one caller led; everyone else either coalesced onto the
+	// flight or hit the cache after it landed.
+	if st.Misses-st.Coalesced != 1 {
+		t.Errorf("misses(%d) - coalesced(%d) != 1 leader", st.Misses, st.Coalesced)
+	}
+}
+
+func TestComputeErrorsAreNotCached(t *testing.T) {
+	c := New(64)
+	boom := errors.New("boom")
+	var n atomic.Int64
+	for i := 0; i < 3; i++ {
+		_, _, err := c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+			n.Add(1)
+			return nil, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if n.Load() != 3 {
+		t.Errorf("failed compute ran %d times, want 3 (errors must not cache)", n.Load())
+	}
+	v, _, err := c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	if err != nil || string(v) != "ok" {
+		t.Fatalf("recovery compute = %q, %v", v, err)
+	}
+	if _, ok := c.Get("k"); !ok {
+		t.Error("successful value was not cached after earlier errors")
+	}
+}
+
+func TestWaiterHonorsContext(t *testing.T) {
+	c := New(64)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_, _, _ = c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+			close(leaderIn)
+			<-release
+			return []byte("v"), nil
+		})
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.GetOrCompute(ctx, "k", func() ([]byte, error) {
+		t.Error("waiter must not compute")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("waiter err = %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+func TestComputeLeaderRechecksCache(t *testing.T) {
+	c := New(64)
+	c.put("k", []byte("already"))
+	v, hit, err := c.Compute(context.Background(), "k", func() ([]byte, error) {
+		t.Error("compute must not run when the value already landed")
+		return nil, nil
+	})
+	if err != nil || !hit || string(v) != "already" {
+		t.Errorf("Compute = %q, hit=%v, err=%v", v, hit, err)
+	}
+}

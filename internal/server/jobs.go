@@ -1,0 +1,441 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Job statuses.
+const (
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
+)
+
+// errQueueFull is returned by submit when the bounded queue is at capacity;
+// handlers translate it to 503.
+var errQueueFull = errors.New("job queue full")
+
+// errClosed is returned by submit after the manager shut down; handlers
+// translate it to 503 (the process is draining).
+var errClosed = errors.New("server shutting down")
+
+// errCanceled marks a job canceled via the API (vs failed on its own).
+var errCanceled = errors.New("job canceled")
+
+// runFunc executes a job's work. It must honor ctx and may report progress
+// through the callback (already serialized by the engine).
+type runFunc func(ctx context.Context, progress func(done, total int)) ([]byte, error)
+
+// Job is one unit of queued work. All mutable state is behind mu; Done is
+// closed exactly once when the job reaches a terminal status.
+type Job struct {
+	ID   string
+	Kind string // "compare" | "experiment"
+	Hash string // content address of the request
+	run  runFunc
+
+	// Done is closed when the job finishes (any terminal status).
+	Done chan struct{}
+
+	mu              sync.Mutex
+	status          string
+	err             error
+	result          []byte
+	cached          bool
+	progressDone    int
+	progressTotal   int
+	created         time.Time
+	started         time.Time
+	finished        time.Time
+	cancelRequested bool
+	cancel          context.CancelFunc // set while running
+	subs            map[chan jobEvent]struct{}
+}
+
+// jobEvent is one SSE-able progress tick.
+type jobEvent struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// setProgress records a progress tick and fans it out to subscribers without
+// blocking (a slow subscriber skips ticks; the terminal event is delivered
+// via Done).
+func (j *Job) setProgress(done, total int) {
+	j.mu.Lock()
+	j.progressDone, j.progressTotal = done, total
+	ev := jobEvent{Done: done, Total: total}
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}
+
+// subscribe registers a progress channel; pair with unsubscribe.
+func (j *Job) subscribe() chan jobEvent {
+	ch := make(chan jobEvent, 16)
+	j.mu.Lock()
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch
+}
+
+func (j *Job) unsubscribe(ch chan jobEvent) {
+	j.mu.Lock()
+	delete(j.subs, ch)
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal status. It is a no-op if the job is
+// already terminal (e.g. canceled while the worker was finishing).
+func (j *Job) finish(result []byte, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == StatusDone || j.status == StatusFailed || j.status == StatusCanceled {
+		return
+	}
+	j.finished = time.Now().UTC()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.status, j.result = StatusDone, result
+	case errors.Is(err, errCanceled) || (j.cancelRequested && errors.Is(err, context.Canceled)):
+		j.status, j.err = StatusCanceled, errCanceled
+	default:
+		j.status, j.err = StatusFailed, err
+	}
+	close(j.Done)
+}
+
+// resultBytes returns the serialized result of a finished job.
+func (j *Job) resultBytes() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// terminalErr returns the error a finished job ended with (nil if done).
+// Cancellation and timeout causes stay wrapped so callers can classify.
+func (j *Job) terminalErr() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// View is the JSON shape of a job returned by the API.
+type View struct {
+	ID       string          `json:"id"`
+	Kind     string          `json:"kind"`
+	Hash     string          `json:"hash,omitempty"`
+	Status   string          `json:"status"`
+	Cached   bool            `json:"cached,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Progress *jobEvent       `json:"progress,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	Created  string          `json:"created,omitempty"`
+	Started  string          `json:"started,omitempty"`
+	Finished string          `json:"finished,omitempty"`
+}
+
+// view snapshots the job. includeResult controls whether the (possibly
+// large) result body is embedded.
+func (j *Job) view(includeResult bool) View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := View{
+		ID:     j.ID,
+		Kind:   j.Kind,
+		Hash:   j.Hash,
+		Status: j.status,
+		Cached: j.cached,
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if j.progressTotal > 0 {
+		v.Progress = &jobEvent{Done: j.progressDone, Total: j.progressTotal}
+	}
+	if includeResult && j.status == StatusDone {
+		v.Result = json.RawMessage(j.result)
+	}
+	stamp := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.Format(time.RFC3339Nano)
+	}
+	v.Created, v.Started, v.Finished = stamp(j.created), stamp(j.started), stamp(j.finished)
+	return v
+}
+
+// manager owns the bounded queue and the worker pool draining it.
+type manager struct {
+	queue   chan *Job
+	timeout time.Duration
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*Job
+	order  []string // job ids in creation order, for retention eviction
+	nextID uint64
+	total  uint64 // jobs ever submitted
+	active int    // jobs currently running on a worker
+}
+
+// maxRetainedJobs bounds the job registry: once exceeded, the oldest
+// *terminal* jobs (and their result bytes) are dropped so sustained traffic
+// cannot grow the map without bound. Live (queued/running) jobs are never
+// evicted; result bytes themselves live on in the LRU result cache.
+const maxRetainedJobs = 1024
+
+// newManager starts workers goroutines draining a queue of the given depth.
+// timeout bounds each job's run (<= 0 means no per-job timeout).
+func newManager(workers, depth int, timeout time.Duration) *manager {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	m := &manager{
+		queue:   make(chan *Job, depth),
+		timeout: timeout,
+		baseCtx: ctx,
+		stop:    stop,
+		jobs:    map[string]*Job{},
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// newJob allocates and registers a job record (not yet queued).
+func (m *manager) newJob(kind, hash string, run runFunc) *Job {
+	m.mu.Lock()
+	m.nextID++
+	m.total++
+	id := fmt.Sprintf("j%d", m.nextID)
+	j := &Job{
+		ID:      id,
+		Kind:    kind,
+		Hash:    hash,
+		run:     run,
+		Done:    make(chan struct{}),
+		status:  StatusQueued,
+		created: time.Now().UTC(),
+		subs:    map[chan jobEvent]struct{}{},
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.evictLocked()
+	m.mu.Unlock()
+	return j
+}
+
+// evictLocked drops the oldest terminal jobs while the registry exceeds
+// maxRetainedJobs. Called with m.mu held; j.mu nests inside m.mu (job code
+// never takes m.mu), so the order check is deadlock-free.
+func (m *manager) evictLocked() {
+	if len(m.jobs) <= maxRetainedJobs {
+		return
+	}
+	kept := m.order[:0]
+	for i, id := range m.order {
+		if len(m.jobs) <= maxRetainedJobs {
+			kept = append(kept, m.order[i:]...)
+			break
+		}
+		j, ok := m.jobs[id]
+		if !ok {
+			continue
+		}
+		j.mu.Lock()
+		terminal := j.status == StatusDone || j.status == StatusFailed || j.status == StatusCanceled
+		j.mu.Unlock()
+		if terminal {
+			delete(m.jobs, id)
+		} else {
+			kept = append(kept, id)
+		}
+	}
+	m.order = kept
+}
+
+// completed registers an already-finished job (a cache hit served without
+// queueing): it is born terminal, with Done closed.
+func (m *manager) completed(kind, hash string, result []byte) *Job {
+	j := m.newJob(kind, hash, nil)
+	j.mu.Lock()
+	j.status = StatusDone
+	j.cached = true
+	j.result = result
+	j.started = j.created
+	j.finished = j.created
+	j.mu.Unlock()
+	close(j.Done)
+	return j
+}
+
+// submit queues a new job, failing fast with errQueueFull when the queue is
+// at capacity and errClosed after close. The enqueue happens under m.mu so
+// it cannot race close()'s drain: a job is either enqueued before the closed
+// flag is set (and drained as canceled) or rejected — never stranded in the
+// queue with no worker and no drain.
+func (m *manager) submit(kind, hash string, run runFunc) (*Job, error) {
+	j := m.newJob(kind, hash, run)
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		j.finish(nil, errClosed)
+		return nil, errClosed
+	}
+	select {
+	case m.queue <- j:
+		m.mu.Unlock()
+		return j, nil
+	default:
+		m.mu.Unlock()
+		j.finish(nil, fmt.Errorf("server overloaded: %w", errQueueFull))
+		return nil, errQueueFull
+	}
+}
+
+// get looks up a job by id.
+func (m *manager) get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// cancelJob requests cancellation: a queued job finishes immediately as
+// canceled; a running job has its context canceled and finishes when its
+// runFunc returns. Returns false if the job is already terminal.
+func (m *manager) cancelJob(j *Job) bool {
+	j.mu.Lock()
+	switch j.status {
+	case StatusDone, StatusFailed, StatusCanceled:
+		j.mu.Unlock()
+		return false
+	case StatusQueued:
+		j.cancelRequested = true
+		j.mu.Unlock()
+		j.finish(nil, errCanceled)
+		return true
+	default: // running
+		j.cancelRequested = true
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return true
+	}
+}
+
+// depth reports how many jobs sit in the queue right now.
+func (m *manager) depth() int { return len(m.queue) }
+
+// counts snapshots (total submitted, currently running).
+func (m *manager) counts() (total uint64, active int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total, m.active
+}
+
+// close rejects new submissions, stops the workers and cancels running
+// jobs. Queued jobs are drained as canceled. Safe to call more than once.
+func (m *manager) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.stop()
+	m.wg.Wait()
+	for {
+		select {
+		case j := <-m.queue:
+			j.finish(nil, errCanceled)
+		default:
+			return
+		}
+	}
+}
+
+// worker drains the queue until the manager closes.
+func (m *manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case j := <-m.queue:
+			m.runJob(j)
+		}
+	}
+}
+
+// runJob executes one job with its own (optionally timed) context.
+func (m *manager) runJob(j *Job) {
+	ctx := m.baseCtx
+	var cancel context.CancelFunc
+	if m.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, m.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	j.mu.Lock()
+	if j.status != StatusQueued { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	if j.cancelRequested {
+		j.mu.Unlock()
+		j.finish(nil, errCanceled)
+		return
+	}
+	j.status = StatusRunning
+	j.started = time.Now().UTC()
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	m.mu.Lock()
+	m.active++
+	m.mu.Unlock()
+	res, err := j.run(ctx, j.setProgress)
+	m.mu.Lock()
+	m.active--
+	m.mu.Unlock()
+
+	if err != nil && ctx.Err() != nil {
+		// Distinguish API cancellation from shutdown/timeout for the view.
+		j.mu.Lock()
+		requested := j.cancelRequested
+		j.mu.Unlock()
+		switch {
+		case requested:
+			err = errCanceled
+		case errors.Is(ctx.Err(), context.DeadlineExceeded):
+			err = fmt.Errorf("job timed out: %w", err)
+		}
+	}
+	j.finish(res, err)
+}

@@ -1,0 +1,165 @@
+package server
+
+// Load test for the acceptance bar: the service must sustain >= 64
+// concurrent /v1/compare requests under the race detector, serve the cached
+// path byte-identical to the cold path, and serve cache hits without
+// touching sim.Engine (tracked by the server's simulation counter).
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// postCompare issues one real HTTP request and returns status, body and the
+// X-Cache header.
+func postCompare(t *testing.T, client *http.Client, url, body string) (int, []byte, string) {
+	t.Helper()
+	resp, err := client.Post(url+"/v1/compare", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Errorf("POST /v1/compare: %v", err)
+		return 0, nil, ""
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Errorf("read body: %v", err)
+		return resp.StatusCode, nil, ""
+	}
+	return resp.StatusCode, b, resp.Header.Get("X-Cache")
+}
+
+func TestLoad64ConcurrentIdenticalCompares(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	const concurrency = 64
+	body := smallCompare
+
+	wave := func() [][]byte {
+		results := make([][]byte, concurrency)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < concurrency; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				code, b, _ := postCompare(t, client, ts.URL, body)
+				if code != http.StatusOK {
+					t.Errorf("request %d: status %d (%s)", i, code, b)
+					return
+				}
+				results[i] = b
+			}(i)
+		}
+		close(start)
+		wg.Wait()
+		return results
+	}
+
+	// Cold wave: a thundering herd of identical requests must coalesce onto
+	// exactly one simulation, with every caller handed the same bytes.
+	cold := wave()
+	for i, b := range cold {
+		if b == nil {
+			t.Fatalf("request %d failed", i)
+		}
+		if !bytes.Equal(b, cold[0]) {
+			t.Fatalf("request %d got different bytes than request 0", i)
+		}
+	}
+	if n := s.Stats().Simulations; n != 1 {
+		t.Errorf("cold wave ran %d simulations, want exactly 1 (singleflight)", n)
+	}
+
+	// Warm wave: all hits, zero new engine work, bytes identical to cold.
+	warm := wave()
+	for i, b := range warm {
+		if b == nil {
+			t.Fatalf("warm request %d failed", i)
+		}
+		if !bytes.Equal(b, cold[0]) {
+			t.Fatalf("warm request %d differs from the cold response", i)
+		}
+	}
+	if n := s.Stats().Simulations; n != 1 {
+		t.Errorf("warm wave touched the engine: %d simulations, want 1", n)
+	}
+	st := s.Stats().Cache
+	if st.Hits == 0 {
+		t.Error("warm wave recorded no cache hits")
+	}
+	if st.Inflight != 0 {
+		t.Errorf("inflight = %d after both waves", st.Inflight)
+	}
+}
+
+func TestLoadDistinctRequestsEachSimulateOnce(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// 8 distinct requests x 8 callers each, all concurrent: one simulation
+	// per distinct request, identical bytes within each group.
+	const groups, per = 8, 8
+	results := make([][][]byte, groups)
+	for g := range results {
+		results[g] = make([][]byte, per)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < groups; g++ {
+		body := fmt.Sprintf(`{
+			"config": {"mesh_width": 4, "mesh_height": 4, "bank_kb": 256,
+			           "bank_latency": 9, "hop_latency": 4, "mem_latency": 120, "mem_channels": 4},
+			"mix": {"kind": "random", "seed": %d, "n": 4},
+			"schemes": ["S-NUCA", "CDCS"],
+			"seed": 1
+		}`, 100+g)
+		for p := 0; p < per; p++ {
+			wg.Add(1)
+			go func(g, p int, body string) {
+				defer wg.Done()
+				<-start
+				code, b, _ := postCompare(t, client, ts.URL, body)
+				if code != http.StatusOK {
+					t.Errorf("group %d caller %d: status %d (%s)", g, p, code, b)
+					return
+				}
+				results[g][p] = b
+			}(g, p, body)
+		}
+	}
+	close(start)
+	wg.Wait()
+
+	for g := 0; g < groups; g++ {
+		for p := 0; p < per; p++ {
+			if results[g][p] == nil {
+				t.Fatalf("group %d caller %d failed", g, p)
+			}
+			if !bytes.Equal(results[g][p], results[g][0]) {
+				t.Fatalf("group %d caller %d bytes diverge", g, p)
+			}
+		}
+		for o := 0; o < g; o++ {
+			if bytes.Equal(results[g][0], results[o][0]) {
+				t.Fatalf("groups %d and %d unexpectedly share a response", g, o)
+			}
+		}
+	}
+	if n := s.Stats().Simulations; n != groups {
+		t.Errorf("simulations = %d, want %d (one per distinct request)", n, groups)
+	}
+}

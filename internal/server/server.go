@@ -1,0 +1,447 @@
+// Package server is the HTTP serving layer over the cdcs simulator: a JSON
+// API backed by a bounded job queue that fans work onto sim.Engine, with a
+// content-addressed result cache in front so repeated requests are absorbed
+// without re-simulation.
+//
+// Endpoints:
+//
+//	POST /v1/compare         evaluate schemes on one mix (synchronous, cached)
+//	POST /v1/experiment      run a paper experiment by id (async job, cached)
+//	GET  /v1/experiments     list experiment ids and scheme names
+//	GET  /v1/jobs/{id}       job status; SSE progress with Accept: text/event-stream
+//	DELETE /v1/jobs/{id}     cancel a queued or running job
+//	GET  /healthz            liveness
+//	GET  /metrics            counters in Prometheus text format (also on expvar)
+//
+// Correctness of the cache rests on PR 1's bit-determinism: a request's
+// SHA-256 content address (see cdcs.CompareRequest.Hash) fully determines
+// the response bytes, so cached and freshly computed responses are
+// byte-identical by construction.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cdcs"
+	"cdcs/internal/resultcache"
+)
+
+// Options configures a Server. The zero value picks sensible defaults.
+type Options struct {
+	// CacheEntries bounds the result cache (default 4096 entries).
+	CacheEntries int
+	// QueueDepth bounds the job queue; submissions beyond it get 503
+	// (default 256).
+	QueueDepth int
+	// Workers is the number of jobs running concurrently (default
+	// max(1, GOMAXPROCS/2) — each job itself fans out on the sim engine).
+	Workers int
+	// JobTimeout bounds each job's run; 0 means 15m, negative means none.
+	JobTimeout time.Duration
+	// SimParallelism caps each job's engine workers; 0 means GOMAXPROCS.
+	// Results are bit-identical for any value.
+	SimParallelism int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 4096
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0) / 2
+		if o.Workers < 1 {
+			o.Workers = 1
+		}
+	}
+	if o.JobTimeout == 0 {
+		o.JobTimeout = 15 * time.Minute
+	}
+	return o
+}
+
+// Server wires the cache, the job manager and the handlers together. Create
+// with New, serve via Handler, release with Close.
+type Server struct {
+	opts        Options
+	cache       *resultcache.Cache
+	jobs        *manager
+	simulations atomic.Int64 // actual sim.Engine fan-outs (cache misses)
+	started     time.Time
+}
+
+// New builds a ready-to-serve Server and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		cache:   resultcache.New(opts.CacheEntries),
+		jobs:    newManager(opts.Workers, opts.QueueDepth, opts.JobTimeout),
+		started: time.Now().UTC(),
+	}
+	publishExpvar(s)
+	return s
+}
+
+// Close stops the worker pool, canceling running jobs.
+func (s *Server) Close() { s.jobs.close() }
+
+// Stats is a point-in-time snapshot of the serving counters.
+type Stats struct {
+	Cache       resultcache.Stats `json:"cache"`
+	QueueDepth  int               `json:"queue_depth"`
+	JobsTotal   uint64            `json:"jobs_total"`
+	JobsRunning int               `json:"jobs_running"`
+	Simulations int64             `json:"simulations"`
+	UptimeSec   float64           `json:"uptime_sec"`
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	total, active := s.jobs.counts()
+	return Stats{
+		Cache:       s.cache.Stats(),
+		QueueDepth:  s.jobs.depth(),
+		JobsTotal:   total,
+		JobsRunning: active,
+		Simulations: s.simulations.Load(),
+		UptimeSec:   time.Since(s.started).Seconds(),
+	}
+}
+
+// current is the server expvar reads from; expvar registration is global and
+// permanent, so it indirects through a pointer the newest Server owns.
+var (
+	current    atomic.Pointer[Server]
+	expvarOnce sync.Once
+)
+
+func publishExpvar(s *Server) {
+	current.Store(s)
+	expvarOnce.Do(func() {
+		expvar.Publish("cdcs_serve", expvar.Func(func() any {
+			if srv := current.Load(); srv != nil {
+				return srv.Stats()
+			}
+			return nil
+		}))
+	})
+}
+
+// Handler returns the API mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // client gone: nothing to do
+}
+
+// writeErr writes a {"error": ...} body.
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decodeStrict parses a JSON body, rejecting unknown fields and trailing
+// garbage so request typos fail loudly instead of hashing to a surprise key.
+func decodeStrict(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("unexpected data after JSON body")
+	}
+	return nil
+}
+
+// compareResponse is the /v1/compare body. It is marshaled once and cached;
+// cold and cached responses are the same bytes.
+type compareResponse struct {
+	Hash       string              `json:"hash"`
+	Request    cdcs.CompareRequest `json:"request"`
+	Comparison *cdcs.Comparison    `json:"comparison"`
+}
+
+// handleCompare runs (or serves from cache) one scheme comparison,
+// synchronously. Identical in-flight requests coalesce onto one simulation.
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	var req cdcs.CompareRequest
+	if err := decodeStrict(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	canon, err := req.Canonical()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hash, err := canon.Hash()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Hot path: a cached hash proves an identical request already built and
+	// simulated successfully, so hits skip mix construction entirely.
+	if body, ok := s.cache.Get(hash); ok {
+		writeCompare(w, hash, true, body)
+		return
+	}
+	if _, err := canon.Mix.Build(); err != nil { // validate benchmark names up front
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	body, hit, err := s.cache.Compute(r.Context(), hash, func() ([]byte, error) {
+		job, err := s.jobs.submit("compare", hash, func(ctx context.Context, progress func(int, int)) ([]byte, error) {
+			s.simulations.Add(1)
+			cmp, err := canon.Run(cdcs.RunOptions{
+				Parallelism: s.opts.SimParallelism,
+				Context:     ctx,
+				Progress:    progress,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(compareResponse{Hash: hash, Request: canon, Comparison: cmp})
+		})
+		if err != nil {
+			return nil, err
+		}
+		<-job.Done
+		if jerr := job.terminalErr(); jerr != nil {
+			// Keep the cause wrapped (errCanceled, DeadlineExceeded) so the
+			// status-code switch below can classify it.
+			return nil, fmt.Errorf("compare job %s: %w", job.ID, jerr)
+		}
+		return job.resultBytes(), nil
+	})
+	switch {
+	case errors.Is(err, errQueueFull), errors.Is(err, errClosed):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, errCanceled), errors.Is(err, context.Canceled):
+		writeErr(w, http.StatusServiceUnavailable, "request canceled: %v", err)
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusGatewayTimeout, "%v", err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeCompare(w, hash, hit, body)
+}
+
+// writeCompare writes a /v1/compare success response. The body bytes are
+// written verbatim, so cached and cold responses are identical.
+func writeCompare(w http.ResponseWriter, hash string, hit bool, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Request-Hash", hash)
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	_, _ = w.Write(body)
+}
+
+// experimentResponse is the cached /v1/experiment result body (embedded in
+// the job view's "result" field).
+type experimentResponse struct {
+	Hash    string                 `json:"hash"`
+	Request cdcs.ExperimentRequest `json:"request"`
+	Report  string                 `json:"report"`
+}
+
+// handleExperiment enqueues an experiment run as an async job; a cache hit
+// completes instantly. 202 + job id while queued/running, 200 when done.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	var req cdcs.ExperimentRequest
+	if err := decodeStrict(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.ID != "" && !cdcs.KnownExperiment(req.ID) {
+		writeErr(w, http.StatusNotFound, "unknown experiment %q (see GET /v1/experiments)", req.ID)
+		return
+	}
+	canon, err := req.Canonical()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hash, err := canon.Hash()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	if body, ok := s.cache.Get(hash); ok {
+		job := s.jobs.completed("experiment", hash, body)
+		writeJSON(w, http.StatusOK, job.view(true))
+		return
+	}
+	job, err := s.jobs.submit("experiment", hash, func(ctx context.Context, progress func(int, int)) ([]byte, error) {
+		// Compute coalesces with any identical in-flight run; only the
+		// leader touches the engine.
+		body, _, err := s.cache.Compute(ctx, hash, func() ([]byte, error) {
+			s.simulations.Add(1)
+			report, err := canon.Run(cdcs.RunOptions{
+				Parallelism: s.opts.SimParallelism,
+				Context:     ctx,
+				Progress:    progress,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(experimentResponse{Hash: hash, Request: canon, Report: report})
+		})
+		return body, err
+	})
+	if err != nil { // queue full or shutting down
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job.view(false))
+}
+
+// handleExperiments lists what the service can run.
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"experiments": cdcs.ExperimentIDs(),
+		"schemes":     cdcs.SchemeNames(),
+	})
+}
+
+// handleJobGet returns a job's status, or streams progress as SSE when the
+// client asks for text/event-stream (or ?watch=1).
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") || r.URL.Query().Get("watch") != "" {
+		s.streamJob(w, r, job)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.view(true))
+}
+
+// streamJob writes SSE: a "job" snapshot on open, "progress" ticks while the
+// job runs, and a terminal "done" event carrying the final job view.
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, job *Job) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusNotAcceptable, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string, v any) bool {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	sub := job.subscribe()
+	defer job.unsubscribe(sub)
+	if !emit("job", job.view(false)) {
+		return
+	}
+	for {
+		select {
+		case ev := <-sub:
+			if !emit("progress", ev) {
+				return
+			}
+		case <-job.Done:
+			emit("done", job.view(true))
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleJobCancel cancels a queued or running job.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if !s.jobs.cancelJob(job) {
+		writeJSON(w, http.StatusConflict, job.view(false)) // already terminal
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.view(false))
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"uptime":  time.Since(s.started).String(),
+		"version": "v1",
+	})
+}
+
+// handleMetrics emits the counters in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b strings.Builder
+	line := func(name string, v any) {
+		fmt.Fprintf(&b, "%s %v\n", name, v)
+	}
+	line("cdcs_cache_hits_total", st.Cache.Hits)
+	line("cdcs_cache_misses_total", st.Cache.Misses)
+	line("cdcs_cache_coalesced_total", st.Cache.Coalesced)
+	line("cdcs_cache_evictions_total", st.Cache.Evictions)
+	line("cdcs_cache_inflight", st.Cache.Inflight)
+	line("cdcs_cache_entries", st.Cache.Entries)
+	line("cdcs_cache_bytes", st.Cache.Bytes)
+	line("cdcs_queue_depth", st.QueueDepth)
+	line("cdcs_jobs_total", st.JobsTotal)
+	line("cdcs_jobs_running", st.JobsRunning)
+	line("cdcs_simulations_total", st.Simulations)
+	line("cdcs_uptime_seconds", fmt.Sprintf("%.3f", st.UptimeSec))
+	_, _ = w.Write([]byte(b.String()))
+}
