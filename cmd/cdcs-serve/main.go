@@ -8,6 +8,10 @@
 //	curl -s localhost:8080/v1/experiments
 //	curl -s -X POST localhost:8080/v1/compare \
 //	  -d '{"mix":{"kind":"random","seed":1,"n":16},"schemes":["S-NUCA","CDCS"],"seed":1}'
+//	curl -s -X POST localhost:8080/v1/sweep \
+//	  -d '{"mesh":[{"width":8,"height":8},{"width":16,"height":16}],
+//	       "mixes":[{"kind":"random","seed":1,"n":16}],
+//	       "schemes":["S-NUCA","CDCS"],"seed":1}'
 //	curl -s -X POST localhost:8080/v1/experiment -d '{"id":"fig11","quick":true}'
 //	curl -s localhost:8080/v1/jobs/j1
 //	curl -sN 'localhost:8080/v1/jobs/j1?watch=1'   # SSE progress stream

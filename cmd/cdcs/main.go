@@ -1,29 +1,44 @@
 // Command cdcs regenerates the paper's tables and figures from the command
-// line:
+// line, and runs config-grid sweeps over the machine model:
 //
 //	cdcs -list                 # list experiment ids
 //	cdcs -exp fig11            # run one experiment at paper scale (50 mixes)
 //	cdcs -exp fig11 -quick     # scaled-down smoke run
 //	cdcs -all -quick           # run everything, with a progress line
 //	cdcs -all -quick -j 8      # bound the worker pool to 8 jobs
+//	cdcs -sweep grid.json      # evaluate a config grid (see SweepRequest)
+//	cdcs -sweep - -sweep-json  # grid from stdin, full results as JSON
+//
+// A sweep file is a cdcs.SweepRequest: axes over the machine config (mesh
+// sizes up to 32x32, bank KB, latencies, channels) crossed with a list of
+// mixes, e.g.
+//
+//	{"mesh": [{"width": 8, "height": 8}, {"width": 16, "height": 16}],
+//	 "hop_latency": [2, 4],
+//	 "mixes": [{"kind": "random", "seed": 1, "n": 16}],
+//	 "schemes": ["S-NUCA", "CDCS"], "seed": 1}
 //
 // Simulation jobs fan out over a worker pool (-j, default all cores);
 // results are bit-identical for any worker count. Ctrl-C cancels the run.
 //
 // Exit status: 0 on success, 1 on any failure (unknown experiment, canceled
-// run, output write error), 2 on usage errors.
+// run, bad sweep file, output write error), 2 on usage errors.
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"time"
 
+	"cdcs"
 	"cdcs/internal/exp"
 )
 
@@ -33,13 +48,15 @@ func main() {
 
 func run() int {
 	var (
-		id    = flag.String("exp", "", "experiment id to run (see -list)")
-		all   = flag.Bool("all", false, "run every experiment (alphabetical id order, as in -list)")
-		list  = flag.Bool("list", false, "list experiment ids (alphabetical)")
-		quick = flag.Bool("quick", false, "reduced mix counts for fast runs")
-		mixes = flag.Int("mixes", 0, "override the number of mixes per point")
-		seed  = flag.Int64("seed", 1, "base random seed")
-		jobs  = flag.Int("j", runtime.GOMAXPROCS(0), "max parallel simulation jobs (results are identical for any value)")
+		id        = flag.String("exp", "", "experiment id to run (see -list)")
+		all       = flag.Bool("all", false, "run every experiment (alphabetical id order, as in -list)")
+		list      = flag.Bool("list", false, "list experiment ids (alphabetical)")
+		quick     = flag.Bool("quick", false, "reduced mix counts for fast runs")
+		mixes     = flag.Int("mixes", 0, "override the number of mixes per point")
+		seed      = flag.Int64("seed", 1, "base random seed")
+		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "max parallel simulation jobs (results are identical for any value)")
+		sweep     = flag.String("sweep", "", "run a config-grid sweep from a JSON file (a cdcs.SweepRequest; \"-\" reads stdin)")
+		sweepJSON = flag.Bool("sweep-json", false, "with -sweep, emit the full SweepResult as JSON instead of a table")
 	)
 	flag.Parse()
 
@@ -50,6 +67,30 @@ func run() int {
 	}
 	if *all && *id != "" {
 		fmt.Fprintln(os.Stderr, "cdcs: -exp and -all are mutually exclusive")
+		return 2
+	}
+	if *sweep != "" && (*all || *id != "" || *list) {
+		fmt.Fprintln(os.Stderr, "cdcs: -sweep is mutually exclusive with -exp, -all and -list")
+		return 2
+	}
+	if *sweep != "" {
+		// The grid file is the single source of truth for a sweep: reject
+		// experiment-only flags rather than silently ignoring them.
+		var conflicting []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "seed", "mixes", "quick":
+				conflicting = append(conflicting, "-"+f.Name)
+			}
+		})
+		if len(conflicting) > 0 {
+			fmt.Fprintf(os.Stderr, "cdcs: %s do not apply to -sweep (the grid file carries seed and mixes)\n",
+				strings.Join(conflicting, ", "))
+			return 2
+		}
+	}
+	if *sweepJSON && *sweep == "" {
+		fmt.Fprintln(os.Stderr, "cdcs: -sweep-json requires -sweep")
 		return 2
 	}
 
@@ -117,6 +158,21 @@ func run() int {
 	}
 
 	switch {
+	case *sweep != "":
+		if err := runSweep(out, *sweep, *sweepJSON, cdcs.RunOptions{
+			Parallelism: *jobs,
+			Context:     ctx,
+			Progress: func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\rsweep %d/%d cells", done, total)
+			},
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "\rcdcs: sweep: %v\n", err)
+			return 1
+		}
+		if flush() != nil {
+			return 1
+		}
+		return 0
 	case *all:
 		ids := exp.IDs()
 		start := time.Now()
@@ -137,8 +193,87 @@ func run() int {
 		}
 		return 0
 	default:
-		fmt.Fprintln(os.Stderr, "cdcs: use -exp <id>, -all or -list")
+		fmt.Fprintln(os.Stderr, "cdcs: use -exp <id>, -all, -list or -sweep <grid.json>")
 		flag.PrintDefaults()
 		return 2
+	}
+}
+
+// readSweepRequest loads a sweep grid from a file (or stdin for "-"),
+// rejecting unknown fields so a typoed axis name fails loudly instead of
+// silently sweeping the default.
+func readSweepRequest(path string) (cdcs.SweepRequest, error) {
+	var req cdcs.SweepRequest
+	var src io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return req, err
+		}
+		defer f.Close()
+		src = f
+	}
+	dec := json.NewDecoder(src)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, fmt.Errorf("%s: %w", path, err)
+	}
+	return req, nil
+}
+
+// runSweep evaluates the grid and writes a per-cell table (or, with
+// jsonOut, the full SweepResult document) to w. Progress goes to stderr via
+// the options' callback; the line is cleared before the table prints.
+func runSweep(w io.Writer, path string, jsonOut bool, opts cdcs.RunOptions) error {
+	req, err := readSweepRequest(path)
+	if err != nil {
+		return err
+	}
+	canon, err := req.Canonical()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d cells over %d schemes (-j %d)\n",
+		canon.NumCells(), len(canon.Schemes), opts.Parallelism)
+	start := time.Now()
+	res, err := cdcs.SweepWithOptions(canon, opts)
+	fmt.Fprintf(os.Stderr, "\r%-40s\r", "") // clear the progress line
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return fmt.Errorf("writing output: %w", err)
+		}
+	} else {
+		writeSweepTable(w, res)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d cells in %.1fs\n", len(res.Cells), time.Since(start).Seconds())
+	return nil
+}
+
+// writeSweepTable renders one row per cell: the config axes, the mix, and
+// each scheme's weighted speedup over the cell's baseline.
+func writeSweepTable(w io.Writer, res *cdcs.SweepResult) {
+	schemes := res.Request.Schemes
+	var b strings.Builder
+	fmt.Fprintf(&b, "%5s %7s %7s %6s %5s %5s %3s  %-28s", "cell", "mesh", "bankKB", "bankL", "hopL", "memL", "ch", "mix")
+	for _, s := range schemes {
+		fmt.Fprintf(&b, " %9s", s)
+	}
+	fmt.Fprintln(w, b.String())
+	for _, cell := range res.Cells {
+		cfg := cell.Request.Config
+		b.Reset()
+		fmt.Fprintf(&b, "%5d %7s %7d %6g %5g %5g %3d  %-28s",
+			cell.Index, fmt.Sprintf("%dx%d", cfg.MeshWidth, cfg.MeshHeight),
+			cfg.BankKB, cfg.BankLatency, cfg.HopLatency, cfg.MemLatency, cfg.MemChannels,
+			cell.Request.Mix.Label())
+		for _, s := range schemes {
+			fmt.Fprintf(&b, " %9.3f", cell.Comparison.WeightedSpeedup[s])
+		}
+		fmt.Fprintln(w, b.String())
 	}
 }

@@ -6,31 +6,53 @@
 // This example also demonstrates the options form of the comparison API:
 // Ctrl-C cancels cleanly mid-sweep, and scheme evaluations fan out over all
 // cores (results are identical for any worker count).
+//
+// Flags scale the run down for smoke tests (CI executes
+// `undercommitted -mixes 1 -apps 1,4`):
+//
+//	-mixes N     mixes per occupancy point (default 10)
+//	-apps list   comma-separated app counts (default 1,2,4,8,16,32,64)
 package main
 
 import (
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 
 	"cdcs"
 )
 
 func main() {
-	sys := cdcs.DefaultSystem()
-	const mixesPerPoint = 10
+	mixesPerPoint := flag.Int("mixes", 10, "mixes per occupancy point")
+	appsList := flag.String("apps", "1,2,4,8,16,32,64", "comma-separated app counts")
+	flag.Parse()
+	if *mixesPerPoint < 1 {
+		log.Fatal("need -mixes >= 1")
+	}
+	var points []int
+	for _, part := range strings.Split(*appsList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 || n > 64 {
+			log.Fatalf("bad -apps entry %q (want counts in 1..64)", part)
+		}
+		points = append(points, n)
+	}
 
+	sys := cdcs.DefaultSystem()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	opts := cdcs.RunOptions{Context: ctx}
 
 	fmt.Printf("%6s %10s %10s %10s %10s\n", "apps", "R-NUCA", "Jigsaw+C", "Jigsaw+R", "CDCS")
-	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+	for _, n := range points {
 		sums := map[string]float64{}
-		for m := 0; m < mixesPerPoint; m++ {
+		for m := 0; m < *mixesPerPoint; m++ {
 			seed := int64(n*1000 + m)
 			mix, err := cdcs.RandomMix(seed, n)
 			if err != nil {
@@ -49,9 +71,10 @@ func main() {
 				sums[name] += ws
 			}
 		}
+		div := float64(*mixesPerPoint)
 		fmt.Printf("%6d %10.3f %10.3f %10.3f %10.3f\n", n,
-			sums["R-NUCA"]/mixesPerPoint, sums["Jigsaw+C"]/mixesPerPoint,
-			sums["Jigsaw+R"]/mixesPerPoint, sums["CDCS"]/mixesPerPoint)
+			sums["R-NUCA"]/div, sums["Jigsaw+C"]/div,
+			sums["Jigsaw+R"]/div, sums["CDCS"]/div)
 	}
 	fmt.Println("\nNote how the CDCS-vs-Jigsaw gap is widest at low occupancy,")
 	fmt.Println("where latency-aware allocation leaves capacity deliberately unused.")

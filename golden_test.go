@@ -1,0 +1,169 @@
+package cdcs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+// The golden-run regression corpus: committed SHA-256 hashes of Compare
+// output for all five schemes on the default 8×8 configuration, under a
+// fixed-seed ST mix and a fixed-seed MT mix. Simulation is bit-deterministic,
+// so any drift in these hashes means a change altered results at paper scale
+// — placement and performance work (e.g. the pruned candidate search in
+// internal/place, which must be a no-op at ≤256 tiles) cannot silently change
+// numbers. Regenerate deliberately with:
+//
+//	go test -run TestGoldenStability -update-golden .
+//
+// and justify the refresh in the commit message.
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden.json with freshly computed hashes")
+
+const goldenPath = "testdata/golden.json"
+
+// goldenFile is the committed corpus document.
+type goldenFile struct {
+	// Goarch records where the hashes were computed. Go floating point is
+	// IEEE-deterministic but the compiler may fuse multiply-adds differently
+	// across architectures, so the corpus only gates runs on the recorded
+	// architecture (CI's) and skips elsewhere.
+	Goarch string `json:"goarch"`
+	// Entries maps "<mix>/<scheme>" to the SHA-256 of the scheme's Result
+	// JSON, and "<mix>" to the SHA-256 of the whole Comparison JSON.
+	Entries map[string]string `json:"entries"`
+}
+
+// goldenRequests returns the corpus inputs: every standard scheme on the
+// paper's 8×8 chip, one 64-app single-threaded mix and one 8×8-thread
+// multithreaded mix, fixed seeds throughout.
+func goldenRequests() map[string]CompareRequest {
+	return map[string]CompareRequest{
+		"st": {Mix: MixSpec{Kind: MixRandom, Seed: 42, N: 64}, Seed: 1},
+		"mt": {Mix: MixSpec{Kind: MixRandomMT, Seed: 42, N: 8}, Seed: 1},
+	}
+}
+
+// computeGolden evaluates the corpus and returns its entry map.
+func computeGolden(t *testing.T) map[string]string {
+	t.Helper()
+	sum := func(v any) string {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := sha256.Sum256(b)
+		return hex.EncodeToString(h[:])
+	}
+	entries := map[string]string{}
+	for name, req := range goldenRequests() {
+		cmp, err := req.Run(RunOptions{})
+		if err != nil {
+			t.Fatalf("golden %s: %v", name, err)
+		}
+		entries[name] = sum(cmp)
+		for _, scheme := range SchemeNames() {
+			res, ok := cmp.Results[scheme]
+			if !ok {
+				t.Fatalf("golden %s: scheme %s missing from comparison", name, scheme)
+			}
+			entries[name+"/"+scheme] = sum(res)
+		}
+	}
+	return entries
+}
+
+// TestGoldenStability fails on any bit-level drift of Compare output against
+// the committed corpus. It runs only on the corpus's recorded architecture;
+// use -update-golden to regenerate after an intentional change.
+func TestGoldenStability(t *testing.T) {
+	if *updateGolden {
+		entries := computeGolden(t)
+		doc, err := json.MarshalIndent(goldenFile{Goarch: runtime.GOARCH, Entries: entries}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(doc, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d entries for %s", goldenPath, len(entries), runtime.GOARCH)
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden corpus (regenerate with -update-golden): %v", err)
+	}
+	var golden goldenFile
+	if err := json.Unmarshal(raw, &golden); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+	if golden.Goarch != runtime.GOARCH {
+		t.Skipf("golden corpus recorded on %s, running on %s", golden.Goarch, runtime.GOARCH)
+	}
+
+	got := computeGolden(t)
+	var keys []string
+	for k := range golden.Entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	drifted := 0
+	for _, k := range keys {
+		if got[k] != golden.Entries[k] {
+			drifted++
+			t.Errorf("golden %-14s drifted:\n  committed %s\n  computed  %s", k, golden.Entries[k], got[k])
+		}
+	}
+	for k := range got {
+		if _, ok := golden.Entries[k]; !ok {
+			t.Errorf("golden corpus missing entry %q (regenerate with -update-golden)", k)
+		}
+	}
+	if drifted > 0 {
+		t.Logf("%d of %d golden entries drifted — if the change is intentional, rerun with -update-golden and explain why", drifted, len(keys))
+	}
+}
+
+// TestGoldenCorpusShape sanity-checks the committed document itself, so a
+// truncated or hand-edited corpus fails loudly on every architecture.
+func TestGoldenCorpusShape(t *testing.T) {
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden corpus: %v", err)
+	}
+	var golden goldenFile
+	if err := json.Unmarshal(raw, &golden); err != nil {
+		t.Fatal(err)
+	}
+	if golden.Goarch == "" {
+		t.Error("golden corpus missing goarch")
+	}
+	wantKeys := 0
+	for name := range goldenRequests() {
+		wantKeys += 1 + len(SchemeNames())
+		if _, ok := golden.Entries[name]; !ok {
+			t.Errorf("missing comparison entry %q", name)
+		}
+		for _, scheme := range SchemeNames() {
+			key := fmt.Sprintf("%s/%s", name, scheme)
+			h, ok := golden.Entries[key]
+			if !ok {
+				t.Errorf("missing entry %q", key)
+				continue
+			}
+			if len(h) != 64 {
+				t.Errorf("entry %q is not a SHA-256 hex digest: %q", key, h)
+			}
+		}
+	}
+	if len(golden.Entries) != wantKeys {
+		t.Errorf("corpus has %d entries, want %d", len(golden.Entries), wantKeys)
+	}
+}

@@ -14,13 +14,15 @@ func init() {
 }
 
 // runExtScaling measures the paper's title claim directly: as the chip
-// scales from 16 to 256 tiles (with mixes filling every core), S-NUCA's
+// scales from 16 to 1024 tiles (with mixes filling every core), S-NUCA's
 // mean access distance grows with the mesh diameter while CDCS keeps data
-// local, so the co-scheduling win should widen with scale.
+// local, so the co-scheduling win should widen with scale. The 24x24 and
+// 32x32 points run beyond the paper's largest chip on the pruned placement
+// search (internal/place, active above 256 banks).
 func runExtScaling(opts Options) (*Report, error) {
-	rep := newReport("ext-scaling", "CDCS advantage vs chip size (16-256 tiles)")
+	rep := newReport("ext-scaling", "CDCS advantage vs chip size (16-1024 tiles)")
 	cpu := workload.SPECCPU()
-	sizes := []struct{ w, h int }{{4, 4}, {6, 6}, {8, 8}, {12, 12}, {16, 16}}
+	sizes := []struct{ w, h int }{{4, 4}, {6, 6}, {8, 8}, {12, 12}, {16, 16}, {24, 24}, {32, 32}}
 	if opts.Quick {
 		sizes = sizes[:4]
 	}

@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"maps"
 	"slices"
-	"sort"
 )
 
 // Tile identifies a tile (core + LLC bank slice) by its index in row-major
@@ -31,6 +30,13 @@ type Topology struct {
 	// byDistance[c] lists all tiles sorted by increasing distance from c,
 	// with ties broken by tile index so orderings are deterministic.
 	byDistance [][]Tile
+
+	// ringStart[c][d] is the index in byDistance[c] of the first tile at
+	// distance >= d from c; ringStart[c] has maxDist+2 entries so that
+	// byDistance[c][ringStart[c][d]:ringStart[c][d+1]] is exactly the ring of
+	// tiles at distance d. Placement search uses these precomputed rings to
+	// bound spirals and candidate sets without scanning the whole mesh.
+	ringStart [][]int
 
 	// memControllers are the tiles adjacent to memory controllers. Pages are
 	// interleaved across controllers, so the average distance from a tile to
@@ -64,20 +70,30 @@ func New(width, height int) *Topology {
 		}
 	}
 
+	// Build byDistance with a counting sort over distance rings: two passes
+	// over the tiles in ascending index order yield the canonical
+	// (distance asc, index asc) ordering directly — the same ordering a
+	// stable sort produces, at O(n) per center instead of O(n log n) — and
+	// the ring boundaries fall out as a prefix-sum byproduct.
+	maxDist := width - 1 + height - 1
 	t.byDistance = make([][]Tile, n)
+	t.ringStart = make([][]int, n)
 	for c := 0; c < n; c++ {
-		order := make([]Tile, n)
-		for i := range order {
-			order[i] = Tile(i)
-		}
 		d := t.distance[c]
-		sort.SliceStable(order, func(i, j int) bool {
-			di, dj := d[order[i]], d[order[j]]
-			if di != dj {
-				return di < dj
-			}
-			return order[i] < order[j]
-		})
+		start := make([]int, maxDist+2)
+		for b := 0; b < n; b++ {
+			start[d[b]+1]++
+		}
+		for r := 1; r <= maxDist+1; r++ {
+			start[r] += start[r-1]
+		}
+		t.ringStart[c] = start
+		order := make([]Tile, n)
+		cursor := append([]int(nil), start...)
+		for b := 0; b < n; b++ {
+			order[cursor[d[b]]] = Tile(b)
+			cursor[d[b]]++
+		}
 		t.byDistance[c] = order
 	}
 
@@ -160,6 +176,50 @@ func (t *Topology) Distance(a, b Tile) int {
 // callers must not modify it.
 func (t *Topology) ByDistance(center Tile) []Tile {
 	return t.byDistance[center]
+}
+
+// MaxDistance returns the mesh diameter: the largest possible hop count
+// between two tiles (corner to corner).
+func (t *Topology) MaxDistance() int {
+	return t.width - 1 + t.height - 1
+}
+
+// Ring returns the tiles at exactly distance d from center, in ascending
+// tile-index order (a slice of ByDistance(center); shared, do not modify).
+// Out-of-range distances return an empty ring.
+func (t *Topology) Ring(center Tile, d int) []Tile {
+	if d < 0 || d > t.MaxDistance() {
+		return nil
+	}
+	s := t.ringStart[center]
+	return t.byDistance[center][s[d]:s[d+1]]
+}
+
+// WithinCount returns the number of tiles at distance <= d from center: the
+// length of the ByDistance(center) prefix a spiral of radius d covers.
+// Negative d counts zero tiles; d beyond the diameter counts all of them.
+func (t *Topology) WithinCount(center Tile, d int) int {
+	if d < 0 {
+		return 0
+	}
+	if d >= t.MaxDistance() {
+		return t.Tiles()
+	}
+	return t.ringStart[center][d+1]
+}
+
+// RadiusCovering returns the smallest radius r such that at least k tiles lie
+// within distance r of center (the compact-footprint radius of a k-bank
+// virtual cache). k above the tile count saturates to the mesh diameter;
+// k <= 1 is radius 0.
+func (t *Topology) RadiusCovering(center Tile, k int) int {
+	s := t.ringStart[center]
+	for r := 0; r <= t.MaxDistance(); r++ {
+		if s[r+1] >= k {
+			return r
+		}
+	}
+	return t.MaxDistance()
 }
 
 // MemControllers returns the tiles adjacent to memory controllers.

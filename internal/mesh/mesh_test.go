@@ -3,6 +3,7 @@ package mesh
 import (
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -126,6 +127,105 @@ func TestByDistanceDeterministicTieBreak(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("orderings differ at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestByDistanceMatchesStableSort(t *testing.T) {
+	// The counting-sort construction must reproduce the canonical
+	// (distance asc, index asc) ordering exactly — placement tie-breaks are
+	// sensitive to the last entry, so this is a bit-identity property.
+	for _, dims := range [][2]int{{1, 1}, {3, 5}, {8, 8}, {12, 7}} {
+		m := New(dims[0], dims[1])
+		n := m.Tiles()
+		for c := 0; c < n; c++ {
+			want := make([]Tile, n)
+			for i := range want {
+				want[i] = Tile(i)
+			}
+			sort.SliceStable(want, func(i, j int) bool {
+				di, dj := m.Distance(Tile(c), want[i]), m.Distance(Tile(c), want[j])
+				if di != dj {
+					return di < dj
+				}
+				return want[i] < want[j]
+			})
+			if got := m.ByDistance(Tile(c)); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%dx%d ByDistance(%d) diverged from stable sort", dims[0], dims[1], c)
+			}
+		}
+	}
+}
+
+func TestRings(t *testing.T) {
+	m := New(8, 8)
+	if got, want := m.MaxDistance(), 14; got != want {
+		t.Fatalf("MaxDistance=%d, want %d", got, want)
+	}
+	for c := 0; c < m.Tiles(); c++ {
+		total := 0
+		for d := 0; d <= m.MaxDistance(); d++ {
+			ring := m.Ring(Tile(c), d)
+			for i, tl := range ring {
+				if m.Distance(Tile(c), tl) != d {
+					t.Fatalf("Ring(%d,%d) contains tile %d at distance %d", c, d, tl, m.Distance(Tile(c), tl))
+				}
+				if i > 0 && ring[i-1] >= tl {
+					t.Fatalf("Ring(%d,%d) not in ascending index order", c, d)
+				}
+			}
+			total += len(ring)
+			if got := m.WithinCount(Tile(c), d); got != total {
+				t.Fatalf("WithinCount(%d,%d)=%d, want %d", c, d, got, total)
+			}
+		}
+		if total != m.Tiles() {
+			t.Fatalf("rings of %d cover %d tiles, want %d", c, total, m.Tiles())
+		}
+	}
+	// Center of the chip: ring d has 4d tiles while it fits.
+	center := m.CenterTile()
+	if got := len(m.Ring(center, 1)); got != 4 {
+		t.Errorf("center ring 1 has %d tiles, want 4", got)
+	}
+	if got := len(m.Ring(center, 2)); got != 8 {
+		t.Errorf("center ring 2 has %d tiles, want 8", got)
+	}
+	// Out-of-range distances.
+	if len(m.Ring(center, -1)) != 0 || len(m.Ring(center, 99)) != 0 {
+		t.Error("out-of-range rings not empty")
+	}
+	if m.WithinCount(center, -1) != 0 || m.WithinCount(center, 99) != m.Tiles() {
+		t.Error("out-of-range WithinCount wrong")
+	}
+}
+
+func TestRadiusCovering(t *testing.T) {
+	m := New(8, 8)
+	center := m.CenterTile()
+	cases := []struct {
+		k, want int
+	}{
+		// Center is (3,3): the far corner (7,7) sits at distance 8, so
+		// covering all 64 tiles needs radius 8.
+		{0, 0}, {1, 0}, {2, 1}, {5, 1}, {6, 2}, {13, 2}, {64, 8},
+		{1000, m.MaxDistance()}, // saturates
+	}
+	for _, c := range cases {
+		if got := m.RadiusCovering(center, c.k); got != c.want {
+			t.Errorf("RadiusCovering(center,%d)=%d, want %d", c.k, got, c.want)
+		}
+	}
+	// Property: the radius returned really covers k tiles, and r-1 does not.
+	for c := 0; c < m.Tiles(); c++ {
+		for _, k := range []int{1, 3, 7, 20, 64} {
+			r := m.RadiusCovering(Tile(c), k)
+			if m.WithinCount(Tile(c), r) < k {
+				t.Fatalf("RadiusCovering(%d,%d)=%d covers only %d", c, k, r, m.WithinCount(Tile(c), r))
+			}
+			if r > 0 && m.WithinCount(Tile(c), r-1) >= k {
+				t.Fatalf("RadiusCovering(%d,%d)=%d not minimal", c, k, r)
+			}
 		}
 	}
 }

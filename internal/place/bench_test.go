@@ -30,6 +30,45 @@ func BenchmarkOptimisticPlace64(b *testing.B) {
 	}
 }
 
+// benchInstance1024 builds a kilo-tile placement problem (beyond paper
+// scale, where the pruned candidate search is active).
+func benchInstance1024() (Chip, []Demand) {
+	chip := Chip{Topo: mesh.New(32, 32), BankLines: 8192}
+	rng := rand.New(rand.NewSource(1))
+	demands := make([]Demand, 1024)
+	budget := chip.TotalLines()
+	for i := range demands {
+		size := rng.Float64() * budget / 768
+		demands[i] = Demand{Size: size, Accessors: map[int]float64{i: 5 + rng.Float64()*90}}
+	}
+	return chip, demands
+}
+
+func BenchmarkOptimisticPlace1024(b *testing.B) {
+	chip, demands := benchInstance1024()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OptimisticPlace(chip, demands)
+	}
+}
+
+// BenchmarkOptimisticPlace1024Exhaustive is the unpruned reference at the
+// same scale, so `go test -bench OptimisticPlace1024` shows what the pruned
+// candidate search buys.
+func BenchmarkOptimisticPlace1024Exhaustive(b *testing.B) {
+	chip, demands := benchInstance1024()
+	claimed := make([]float64, chip.Banks())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for b := range claimed {
+			claimed[b] = 0
+		}
+		for _, v := range orderBySize(demands) {
+			exhaustiveBestCenter(chip, claimed, demands[v].Size)
+		}
+	}
+}
+
 func BenchmarkGreedy64(b *testing.B) {
 	chip, demands, threads := benchInstance()
 	b.ResetTimer()

@@ -25,6 +25,10 @@ type Point struct{ X, Y float64 }
 // the banks its compact footprint would cover, and the least-contended tile
 // wins. Capacity constraints are relaxed (a claim may exceed bank capacity);
 // the refined pass later enforces real capacities.
+//
+// Above PruneThreshold banks the per-VC candidate search switches to the
+// pruned two-level scan (see prune.go); at or below it, every tile is
+// evaluated exactly as in the paper.
 func OptimisticPlace(chip Chip, demands []Demand) Optimistic {
 	n := chip.Banks()
 	out := Optimistic{
@@ -43,18 +47,7 @@ func OptimisticPlace(chip Chip, demands []Demand) Optimistic {
 
 	for _, v := range orderBySize(demands) {
 		size := demands[v].Size
-		best := mesh.Tile(0)
-		bestContention := -1.0
-		bestDist := 0
-		for c := 0; c < n; c++ {
-			cont := footprintContention(chip, claimed, mesh.Tile(c), size)
-			dc := chip.Topo.Distance(mesh.Tile(c), center)
-			if bestContention < 0 ||
-				cont < bestContention-1e-9 ||
-				(cont < bestContention+1e-9 && dc < bestDist) {
-				best, bestContention, bestDist = mesh.Tile(c), cont, dc
-			}
-		}
+		best := bestCenter(chip, claimed, size)
 		out.Center[v] = best
 		// Claim compactly around the chosen center (up to a full bank per
 		// tile, regardless of other VCs' claims: relaxed constraints).

@@ -1,0 +1,161 @@
+package place
+
+import (
+	"cdcs/internal/mesh"
+)
+
+// PruneThreshold is the bank count above which the optimistic placement's
+// candidate-center search switches to the pruned two-level form that scales
+// to kilo-tile meshes. At or below the threshold —
+// which covers every configuration the paper evaluates, up to the 16×16
+// ext-scaling point — the pruned paths are never taken, so placement is
+// bit-identical to exhaustive search by construction. The golden corpus at
+// the repo root (TestGoldenStability) and the exhaustive-equivalence test in
+// this package enforce that property.
+const PruneThreshold = 256
+
+// latticeTopK is how many coarse-lattice winners seed the exact neighborhood
+// re-scan of the pruned candidate search.
+const latticeTopK = 4
+
+// centerSearch accumulates the best candidate center under the optimistic
+// comparator (§IV-D): least claimed-capacity contention, near-ties (within
+// 1e-9) broken by distance to the chip center, remaining ties by scan order.
+// Candidates are always scanned in ascending tile-index order, so the result
+// is deterministic.
+type centerSearch struct {
+	chip    Chip
+	claimed []float64
+	size    float64
+	center  mesh.Tile // chip center, the tie-break anchor
+
+	best     mesh.Tile
+	bestCont float64
+	bestDist int
+}
+
+func newCenterSearch(chip Chip, claimed []float64, size float64) *centerSearch {
+	return &centerSearch{
+		chip: chip, claimed: claimed, size: size,
+		center: chip.Topo.CenterTile(), bestCont: -1,
+	}
+}
+
+// consider scores one candidate and keeps it if it beats the best so far.
+func (s *centerSearch) consider(c mesh.Tile) {
+	cont := footprintContention(s.chip, s.claimed, c, s.size)
+	dc := s.chip.Topo.Distance(c, s.center)
+	if s.bestCont < 0 ||
+		cont < s.bestCont-1e-9 ||
+		(cont < s.bestCont+1e-9 && dc < s.bestDist) {
+		s.best, s.bestCont, s.bestDist = c, cont, dc
+	}
+}
+
+// bestCenter picks the least-contended center for a VC of the given size.
+// Chips at or below PruneThreshold banks scan every tile — exactly the
+// paper's search; larger chips run the two-level pruned scan.
+func bestCenter(chip Chip, claimed []float64, size float64) mesh.Tile {
+	s := newCenterSearch(chip, claimed, size)
+	n := chip.Banks()
+	if n <= PruneThreshold {
+		for c := 0; c < n; c++ {
+			s.consider(mesh.Tile(c))
+		}
+		return s.best
+	}
+	prunedScan(s)
+	return s.best
+}
+
+// latticeStride returns the smallest stride >= 1 whose coarse lattice over a
+// w×h mesh has at most PruneThreshold points.
+func latticeStride(w, h int) int {
+	s := 1
+	for ((w+s-1)/s)*((h+s-1)/s) > PruneThreshold {
+		s++
+	}
+	return s
+}
+
+// latticeScored is one coarse-lattice candidate's score in the pruned scan.
+type latticeScored struct {
+	tile mesh.Tile
+	cont float64
+	dist int
+}
+
+// latticeBetter is the pruned scan's total order over lattice scores: the
+// exhaustive comparator's criteria (contention, then distance to the chip
+// center) with an index tie-break so ranking is deterministic.
+func latticeBetter(a, b latticeScored) bool {
+	if a.cont != b.cont {
+		return a.cont < b.cont
+	}
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.tile < b.tile
+}
+
+// prunedScan is the beyond-paper-scale candidate search: score a coarse
+// lattice of at most PruneThreshold tiles (plus the chip center, so an
+// uncontended chip still resolves to the center exactly as the exhaustive
+// scan does), keep the top latticeTopK via a fixed-size insertion (no
+// allocation, no reflection — this runs once per VC), then re-scan those
+// winners' lattice cells exactly. The footprint-contention surface varies on
+// the scale of a VC footprint, so a winner's cell almost always contains the
+// exhaustive optimum; either way the placement stays a valid relaxed claim —
+// the refined pass enforces real capacities later.
+func prunedScan(se *centerSearch) {
+	topo := se.chip.Topo
+	w, h := topo.Width(), topo.Height()
+	stride := latticeStride(w, h)
+	center := se.center
+	cx, cy := topo.Coords(center)
+
+	var top [latticeTopK]latticeScored
+	nTop := 0
+	score := func(c mesh.Tile) {
+		s := latticeScored{c, footprintContention(se.chip, se.claimed, c, se.size), topo.Distance(c, center)}
+		i := nTop
+		if i < latticeTopK {
+			nTop++
+		} else if !latticeBetter(s, top[latticeTopK-1]) {
+			return
+		} else {
+			i = latticeTopK - 1
+		}
+		for i > 0 && latticeBetter(s, top[i-1]) {
+			top[i] = top[i-1]
+			i--
+		}
+		top[i] = s
+	}
+	for y := 0; y < h; y += stride {
+		for x := 0; x < w; x += stride {
+			score(topo.TileAt(x, y))
+		}
+	}
+	if cx%stride != 0 || cy%stride != 0 { // not already a lattice point
+		score(center)
+	}
+
+	// Exact re-scan of each winner's lattice cell. A cell's far corner sits
+	// at Manhattan distance 2(stride-1) from its lattice point, so that is
+	// the radius that guarantees full cell coverage for any stride (for the
+	// stride-2 lattice of a 32×32 mesh it equals the stride). Overlapping
+	// cells may score a tile twice, which the strict-improvement comparator
+	// absorbs; the scan order is fixed by the deterministic top-K ranking,
+	// so the final tie-break is deterministic too.
+	radius := 2 * (stride - 1)
+	if radius < stride {
+		radius = stride
+	}
+	for i := 0; i < nTop; i++ {
+		c := top[i].tile
+		for _, b := range topo.ByDistance(c)[:topo.WithinCount(c, radius)] {
+			se.consider(b)
+		}
+	}
+}

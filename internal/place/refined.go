@@ -60,6 +60,12 @@ func Refine(chip Chip, demands []Demand, assign Assignment, threadCore []mesh.Ti
 		var desirables []desirable
 		seen := 0.0
 
+		// The spiral is data-bounded (it breaks once all of v's data has
+		// been seen), so it needs no candidate pruning at scale. Capping its
+		// reach was evaluated for kilo-tile meshes and rejected: the
+		// long-distance trades it would cut are precisely what recovers
+		// latency when greedy scatters late VCs far out (a 4-footprint cap
+		// cost CDCS ~5% WS at 1024 tiles on ext-scaling).
 		for _, b := range chip.Topo.ByDistance(com) {
 			have := assign[v][b]
 			if have < chip.BankLines-1e-9 {

@@ -37,7 +37,7 @@ type runFunc func(ctx context.Context, progress func(done, total int)) ([]byte, 
 // closed exactly once when the job reaches a terminal status.
 type Job struct {
 	ID   string
-	Kind string // "compare" | "experiment"
+	Kind string // "compare" | "sweep" | "experiment"
 	Hash string // content address of the request
 	run  runFunc
 
@@ -393,6 +393,14 @@ func (m *manager) worker() {
 
 // runJob executes one job with its own (optionally timed) context.
 func (m *manager) runJob(j *Job) {
+	if m.baseCtx.Err() != nil {
+		// Shutdown raced the worker's queue read: a closing manager's worker
+		// can pull a queued job instead of observing baseCtx.Done (select
+		// picks ready channels at random). Drain it as canceled, the same
+		// terminal status close() gives the jobs it drains itself.
+		j.finish(nil, errCanceled)
+		return
+	}
 	ctx := m.baseCtx
 	var cancel context.CancelFunc
 	if m.timeout > 0 {
@@ -435,6 +443,10 @@ func (m *manager) runJob(j *Job) {
 			err = errCanceled
 		case errors.Is(ctx.Err(), context.DeadlineExceeded):
 			err = fmt.Errorf("job timed out: %w", err)
+		default:
+			// Neither the API nor the timeout: the base context died, i.e.
+			// the server is shutting down. Canceled, not failed.
+			err = errCanceled
 		}
 	}
 	j.finish(res, err)

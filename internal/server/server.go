@@ -6,6 +6,7 @@
 // Endpoints:
 //
 //	POST /v1/compare         evaluate schemes on one mix (synchronous, cached)
+//	POST /v1/sweep           evaluate a config grid; cached cell-by-cell
 //	POST /v1/experiment      run a paper experiment by id (async job, cached)
 //	GET  /v1/experiments     list experiment ids and scheme names
 //	GET  /v1/jobs/{id}       job status; SSE progress with Accept: text/event-stream
@@ -144,6 +145,7 @@ func publishExpvar(s *Server) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
@@ -269,6 +271,116 @@ func writeCompare(w http.ResponseWriter, hash string, hit bool, body []byte) {
 		w.Header().Set("X-Cache", "miss")
 	}
 	_, _ = w.Write(body)
+}
+
+// sweepCellView is one cell of a /v1/sweep response. Result carries the
+// exact compareResponse bytes the cell's content address maps to, so a sweep
+// cell is byte-identical to the equivalent /v1/compare response body — the
+// two endpoints share one cache namespace.
+type sweepCellView struct {
+	Index  int  `json:"index"`
+	Cached bool `json:"cached"`
+	// Result is the cell's compareResponse (hash, canonical request,
+	// comparison), verbatim from the shared cache.
+	Result json.RawMessage `json:"result"`
+}
+
+// sweepResponse is the /v1/sweep body.
+type sweepResponse struct {
+	Hash    string            `json:"hash"`
+	Request cdcs.SweepRequest `json:"request"`
+	Cells   []sweepCellView   `json:"cells"`
+}
+
+// handleSweep expands a config grid and evaluates it cell by cell,
+// synchronously, as one queued job. Each cell is cached under its own
+// CompareRequest hash — the same namespace /v1/compare uses — so a sweep
+// overlapping a prior sweep (or prior compares) only simulates the cells the
+// cache hasn't seen, and concurrent identical cells coalesce.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req cdcs.SweepRequest
+	if err := decodeStrict(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	canon, err := req.Canonical()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hash, err := canon.Hash()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cells, err := canon.Cells()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	for i, mix := range canon.Mixes { // validate benchmark names up front
+		if _, err := mix.Build(); err != nil {
+			writeErr(w, http.StatusBadRequest, "mix %d: %v", i, err)
+			return
+		}
+	}
+
+	// allCached is written by the job's worker goroutine and read by this
+	// handler only after <-job.Done, which orders the accesses.
+	allCached := true
+	job, err := s.jobs.submit("sweep", hash, func(ctx context.Context, progress func(int, int)) ([]byte, error) {
+		views := make([]sweepCellView, len(cells))
+		for i, cell := range cells {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			cmp := func() ([]byte, error) {
+				s.simulations.Add(1)
+				res, err := cell.Request.Run(cdcs.RunOptions{
+					Parallelism: s.opts.SimParallelism,
+					Context:     ctx,
+				})
+				if err != nil {
+					return nil, err
+				}
+				return json.Marshal(compareResponse{Hash: cell.Hash, Request: cell.Request, Comparison: res})
+			}
+			body, hit, err := s.cache.GetOrCompute(ctx, cell.Hash, cmp)
+			if err != nil {
+				return nil, fmt.Errorf("cell %d: %w", i, err)
+			}
+			if !hit {
+				allCached = false
+			}
+			views[i] = sweepCellView{Index: cell.Index, Cached: hit, Result: json.RawMessage(body)}
+			progress(i+1, len(cells))
+		}
+		return json.Marshal(sweepResponse{Hash: hash, Request: canon, Cells: views})
+	})
+	if err != nil { // queue full or shutting down
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	select {
+	case <-job.Done:
+	case <-r.Context().Done():
+		// Client gone: stop pinning this handler goroutine. The job runs on
+		// — every cell it finishes lands in the shared cache, so a retry of
+		// the same sweep picks up where this one got to.
+		return
+	}
+	if jerr := job.terminalErr(); jerr != nil {
+		switch {
+		case errors.Is(jerr, errCanceled), errors.Is(jerr, context.Canceled):
+			writeErr(w, http.StatusServiceUnavailable, "sweep job %s canceled: %v", job.ID, jerr)
+		case errors.Is(jerr, context.DeadlineExceeded):
+			writeErr(w, http.StatusGatewayTimeout, "sweep job %s: %v", job.ID, jerr)
+		default:
+			writeErr(w, http.StatusInternalServerError, "sweep job %s: %v", job.ID, jerr)
+		}
+		return
+	}
+	writeCompare(w, hash, allCached, job.resultBytes())
 }
 
 // experimentResponse is the cached /v1/experiment result body (embedded in

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// smallSweep expands to two fast cells (4x4 chip, 6 apps, two hop latencies).
+const smallSweep = `{
+	"mesh": [{"width": 4, "height": 4}],
+	"bank_kb": [256],
+	"hop_latency": [2, 4],
+	"mixes": [{"kind": "random", "seed": 11, "n": 6}],
+	"schemes": ["S-NUCA", "CDCS"],
+	"seed": 1
+}`
+
+// sweepBody mirrors the handler's sweepResponse for decoding in tests.
+type sweepBody struct {
+	Hash  string `json:"hash"`
+	Cells []struct {
+		Index  int             `json:"index"`
+		Cached bool            `json:"cached"`
+		Result json.RawMessage `json:"result"`
+	} `json:"cells"`
+}
+
+func TestSweepEndpointValidation(t *testing.T) {
+	_, h := testServer(t, Options{})
+	cases := []struct {
+		name       string
+		body       string
+		wantCode   int
+		wantInBody string
+	}{
+		{"bad JSON", `{nope`, 400, "bad request body"},
+		{"unknown field", `{"mseh": []}`, 400, "unknown field"},
+		{"no mixes", `{"schemes": ["CDCS"]}`, 400, "at least one mix"},
+		{"oversize mesh", `{"mesh": [{"width": 40, "height": 40}], "mixes": [{"kind": "casestudy"}]}`, 400, "exceeds"},
+		{"unknown scheme", `{"mixes": [{"kind": "casestudy"}], "schemes": ["NUCA-9000"]}`, 400, "unknown scheme"},
+		{"unknown bench", `{"mixes": [{"kind": "apps", "apps": [{"bench": "no-such"}]}]}`, 400, "unknown benchmark"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := do(h, "POST", "/v1/sweep", tc.body)
+			if w.Code != tc.wantCode {
+				t.Fatalf("-> %d, want %d (body: %s)", w.Code, tc.wantCode, w.Body)
+			}
+			if !strings.Contains(w.Body.String(), tc.wantInBody) {
+				t.Errorf("body %q does not contain %q", w.Body, tc.wantInBody)
+			}
+		})
+	}
+	if w := do(h, "GET", "/v1/sweep", ""); w.Code != 405 {
+		t.Errorf("GET /v1/sweep -> %d, want 405", w.Code)
+	}
+}
+
+func TestSweepColdWarmAndCompareCacheSharing(t *testing.T) {
+	s, h := testServer(t, Options{})
+
+	// Cold sweep: both cells simulate.
+	cold := do(h, "POST", "/v1/sweep", smallSweep)
+	if cold.Code != 200 {
+		t.Fatalf("cold sweep -> %d: %s", cold.Code, cold.Body)
+	}
+	if got := cold.Header().Get("X-Cache"); got != "miss" {
+		t.Errorf("cold sweep X-Cache=%q, want miss", got)
+	}
+	var coldBody sweepBody
+	if err := json.Unmarshal(cold.Body.Bytes(), &coldBody); err != nil {
+		t.Fatal(err)
+	}
+	if len(coldBody.Cells) != 2 {
+		t.Fatalf("%d cells, want 2", len(coldBody.Cells))
+	}
+	for _, c := range coldBody.Cells {
+		if c.Cached {
+			t.Errorf("cold cell %d marked cached", c.Index)
+		}
+	}
+	if got := s.Stats().Simulations; got != 2 {
+		t.Errorf("%d simulations after cold sweep, want 2", got)
+	}
+
+	// Warm sweep: identical request, zero simulations, byte-identical cells.
+	warm := do(h, "POST", "/v1/sweep", smallSweep)
+	if warm.Code != 200 {
+		t.Fatalf("warm sweep -> %d: %s", warm.Code, warm.Body)
+	}
+	if got := warm.Header().Get("X-Cache"); got != "hit" {
+		t.Errorf("warm sweep X-Cache=%q, want hit", got)
+	}
+	var warmBody sweepBody
+	if err := json.Unmarshal(warm.Body.Bytes(), &warmBody); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range warmBody.Cells {
+		if !c.Cached {
+			t.Errorf("warm cell %d not marked cached", c.Index)
+		}
+		if string(c.Result) != string(coldBody.Cells[i].Result) {
+			t.Errorf("warm cell %d bytes differ from cold", c.Index)
+		}
+	}
+	if got := s.Stats().Simulations; got != 2 {
+		t.Errorf("%d simulations after warm sweep, want 2 (no new work)", got)
+	}
+
+	// A /v1/compare for one cell's request hits the shared cache and returns
+	// exactly the cell's result bytes.
+	var cell0 struct {
+		Request json.RawMessage `json:"request"`
+	}
+	if err := json.Unmarshal(coldBody.Cells[0].Result, &cell0); err != nil {
+		t.Fatal(err)
+	}
+	cw := do(h, "POST", "/v1/compare", string(cell0.Request))
+	if cw.Code != 200 {
+		t.Fatalf("compare of cell 0 -> %d: %s", cw.Code, cw.Body)
+	}
+	if got := cw.Header().Get("X-Cache"); got != "hit" {
+		t.Errorf("compare of sweep cell X-Cache=%q, want hit", got)
+	}
+	if cw.Body.String() != string(coldBody.Cells[0].Result) {
+		t.Error("compare response bytes differ from the sweep cell's result")
+	}
+	if got := s.Stats().Simulations; got != 2 {
+		t.Errorf("%d simulations after compare, want 2 (served from sweep's cache)", got)
+	}
+
+	// An overlapping sweep (one extra hop-latency value) only simulates the
+	// new cell.
+	bigger := strings.Replace(smallSweep, `"hop_latency": [2, 4]`, `"hop_latency": [2, 4, 6]`, 1)
+	over := do(h, "POST", "/v1/sweep", bigger)
+	if over.Code != 200 {
+		t.Fatalf("overlapping sweep -> %d: %s", over.Code, over.Body)
+	}
+	if got := over.Header().Get("X-Cache"); got != "miss" {
+		t.Errorf("overlapping sweep X-Cache=%q, want miss (one new cell)", got)
+	}
+	var overBody sweepBody
+	if err := json.Unmarshal(over.Body.Bytes(), &overBody); err != nil {
+		t.Fatal(err)
+	}
+	if len(overBody.Cells) != 3 {
+		t.Fatalf("%d cells, want 3", len(overBody.Cells))
+	}
+	wantCached := []bool{true, true, false} // hop 2 and 4 reused, hop 6 new
+	for i, c := range overBody.Cells {
+		if c.Cached != wantCached[i] {
+			t.Errorf("overlapping cell %d cached=%v, want %v", i, c.Cached, wantCached[i])
+		}
+	}
+	if got := s.Stats().Simulations; got != 3 {
+		t.Errorf("%d simulations after overlapping sweep, want 3", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strings"
 
 	"cdcs/internal/exp"
 )
@@ -84,6 +85,31 @@ func (s MixSpec) normalize() (MixSpec, error) {
 		return s, fmt.Errorf("cdcs: unknown mix kind %q", s.Kind)
 	}
 	return s, nil
+}
+
+// Label returns a short human-readable descriptor of the mix, for table
+// rows and progress lines ("random(seed 7, n 16)", "apps(2xomnet,1xmilc)").
+func (s MixSpec) Label() string {
+	switch s.Kind {
+	case MixRandom, MixRandomMT:
+		return fmt.Sprintf("%s(seed %d, n %d)", s.Kind, s.Seed, s.N)
+	case MixApps:
+		parts := make([]string, len(s.Apps))
+		for i, a := range s.Apps {
+			n := a.Count
+			if n == 0 {
+				n = 1
+			}
+			suffix := ""
+			if a.MT {
+				suffix = ":mt"
+			}
+			parts[i] = fmt.Sprintf("%dx%s%s", n, a.Bench, suffix)
+		}
+		return "apps(" + strings.Join(parts, ",") + ")"
+	default:
+		return s.Kind
+	}
 }
 
 // Build materializes the mix. It validates benchmark names, so an invalid

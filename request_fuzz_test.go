@@ -1,0 +1,178 @@
+package cdcs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzCompareRequestHash fuzzes the request-canonicalization path that the
+// serving API's content addressing rests on. Three properties must hold for
+// arbitrary input:
+//
+//  1. Malformed JSON errors out of Unmarshal; it never panics and never
+//     reaches Hash.
+//  2. Hashing is total over parsed requests: Hash either errors (invalid
+//     request) or succeeds — no panics — and is deterministic.
+//  3. Semantically equal documents hash equal: the canonical round trip
+//     (spelled-out defaults), a key-permuted re-encoding of the same value,
+//     and a second parse of the same bytes all produce the same address.
+func FuzzCompareRequestHash(f *testing.F) {
+	seeds := []string{
+		`{"mix":{"kind":"random","seed":7,"n":16},"schemes":["S-NUCA","CDCS"],"seed":3}`,
+		`{"seed":3,"schemes":["S-NUCA","CDCS"],"mix":{"n":16,"seed":7,"kind":"random"}}`,
+		`{"mix":{"kind":"casestudy"}}`,
+		`{"mix":{"kind":"random-mt","seed":1,"n":4},"seed":-9}`,
+		`{"mix":{"kind":"apps","apps":[{"bench":"omnet","count":2},{"bench":"milc","mt":true}]}}`,
+		`{"config":{"mesh_width":4,"mesh_height":4,"bank_kb":256},"mix":{"kind":"casestudy"}}`,
+		`{"config":{"mesh_width":-1},"mix":{"kind":"casestudy"}}`,
+		`{"mix":{"kind":"nope"}}`,
+		`{"mix":{"kind":"random"}}`,
+		`{"schemes":["NUCA-9000"],"mix":{"kind":"casestudy"}}`,
+		`{"mix":{"kind":"apps","apps":[{"bench":"omnet","count":-3}]}}`,
+		`{`,
+		`null`,
+		`[]`,
+		`123`,
+		`{"mix":{"kind":"random","seed":9007199254740993,"n":2}}`,
+		"{\"mix\":{\"kind\":\"random\",\"seed\":1,\"n\":1},\"seed\":-9223372036854775808}",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req CompareRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			// Malformed (or shape-mismatched) JSON: rejected, never panics.
+			return
+		}
+		h1, err := req.Hash()
+		if err != nil {
+			// Invalid request: rejected. Rejection must be deterministic.
+			if _, err2 := req.Hash(); err2 == nil {
+				t.Fatalf("Hash() errored then succeeded for %s", data)
+			}
+			return
+		}
+		if len(h1) != 64 {
+			t.Fatalf("hash %q is not a SHA-256 hex digest", h1)
+		}
+
+		// Determinism: same value, same address.
+		if h2, err := req.Hash(); err != nil || h2 != h1 {
+			t.Fatalf("Hash() not deterministic: %q/%v vs %q", h2, err, h1)
+		}
+
+		// Canonical round trip: defaults spelled out must not move the
+		// address, and canonicalization must be idempotent.
+		canon, err := req.Canonical()
+		if err != nil {
+			t.Fatalf("Hash() succeeded but Canonical() failed: %v", err)
+		}
+		if hc, err := canon.Hash(); err != nil || hc != h1 {
+			t.Fatalf("canonical form hashed differently: %q/%v vs %q", hc, err, h1)
+		}
+		enc, err := json.Marshal(canon)
+		if err != nil {
+			t.Fatalf("marshal canonical: %v", err)
+		}
+		var rt CompareRequest
+		if err := json.Unmarshal(enc, &rt); err != nil {
+			t.Fatalf("canonical form does not round-trip: %v", err)
+		}
+		if hrt, err := rt.Hash(); err != nil || hrt != h1 {
+			t.Fatalf("canonical round trip hashed differently: %q/%v vs %q", hrt, err, h1)
+		}
+
+		// Key permutation: re-encode the original document through a map
+		// (Go marshals map keys sorted, almost surely a different order than
+		// the input). If the permuted bytes parse back to the same value,
+		// they must hash to the same address. (They may not parse back
+		// identically — e.g. large ints lose precision through float64 — in
+		// which case equal-hash is not required.)
+		var loose any
+		if err := json.Unmarshal(data, &loose); err != nil {
+			return
+		}
+		permuted, err := json.Marshal(loose)
+		if err != nil {
+			return
+		}
+		var req2 CompareRequest
+		if err := json.Unmarshal(permuted, &req2); err != nil {
+			return
+		}
+		if !reflect.DeepEqual(req, req2) {
+			return
+		}
+		if hp, err := req2.Hash(); err != nil || hp != h1 {
+			t.Fatalf("key-permuted document hashed differently: %q/%v vs %q\noriginal: %s\npermuted: %s",
+				hp, err, h1, data, permuted)
+		}
+	})
+}
+
+// FuzzMixSpecBuild fuzzes mix materialization: Build must reject invalid
+// specs with an error (never panic), and building twice must agree.
+func FuzzMixSpecBuild(f *testing.F) {
+	add := func(kind string, seed int64, n int, apps string) {
+		f.Add(kind, seed, n, apps)
+	}
+	add("random", 1, 8, "")
+	add("random-mt", 2, 4, "")
+	add("casestudy", 0, 0, "")
+	add("apps", 0, 0, `[{"bench":"omnet","count":2}]`)
+	add("apps", 0, 0, `[{"bench":"ilbdc","mt":true}]`)
+	add("apps", 0, 0, `[{"bench":"nope"}]`)
+	add("random", 1, -4, "")
+	add("", 9, 1, "bogus")
+	f.Fuzz(func(t *testing.T, kind string, seed int64, n int, apps string) {
+		spec := MixSpec{Kind: kind, Seed: seed, N: n}
+		if apps != "" {
+			// Tolerate undecodable app lists: the spec just has no apps.
+			_ = json.Unmarshal([]byte(apps), &spec.Apps)
+		}
+		if n > 4096 {
+			return // keep mix construction cheap
+		}
+		m1, err1 := spec.Build()
+		m2, err2 := spec.Build()
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("Build not deterministic: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if m1.Apps() != m2.Apps() || m1.Threads() != m2.Threads() {
+			t.Fatalf("Build not deterministic: %d/%d apps, %d/%d threads",
+				m1.Apps(), m2.Apps(), m1.Threads(), m2.Threads())
+		}
+		if m1.Threads() == 0 {
+			t.Fatal("Build returned a zero-thread mix without error")
+		}
+		// A buildable spec must hash (the serving path relies on it).
+		if _, err := (CompareRequest{Mix: spec, Seed: 1}).Hash(); err != nil {
+			t.Fatalf("buildable mix does not hash: %v", err)
+		}
+	})
+}
+
+// TestFuzzSeedsNoPanic runs the fuzz bodies over their seed corpus in plain
+// `go test` runs, so the properties are exercised even where fuzzing is not.
+func TestFuzzSeedsNoPanic(t *testing.T) {
+	docs := [][]byte{
+		[]byte(`{"mix":{"kind":"random","seed":7,"n":16},"seed":3}`),
+		[]byte(`{"mix":{"kind":"nope"}}`),
+		[]byte(`{`),
+		[]byte(`null`),
+		bytes.Repeat([]byte(`[`), 1000),
+	}
+	for _, d := range docs {
+		var req CompareRequest
+		if err := json.Unmarshal(d, &req); err != nil {
+			continue
+		}
+		_, _ = req.Hash()
+	}
+}

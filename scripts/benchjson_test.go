@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: cdcs
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCampaignParallel/j=1-16         	       5	1002003004 ns/op	  123456 B/op	    7890 allocs/op
+BenchmarkCampaignParallel/j=2-16         	       5	 501001502 ns/op	  123456 B/op	    7890 allocs/op
+BenchmarkCampaignParallel/j=1-16         	       5	 900000000 ns/op	  123456 B/op	    7890 allocs/op
+BenchmarkExpFig11-16                     	       1	2000000000 ns/op	        1.414 ws
+PASS
+pkg: cdcs/internal/place
+BenchmarkOptimisticPlace64-16            	   20000	     55545 ns/op
+ok  	cdcs	10.0s
+`
+
+func parseString(t *testing.T, s string) *File {
+	t.Helper()
+	f, err := parse(bufio.NewScanner(strings.NewReader(s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	f := parseString(t, sampleBenchOutput)
+	if f.Goos != "linux" || f.Goarch != "amd64" || !strings.Contains(f.CPU, "Xeon") {
+		t.Errorf("environment headers wrong: %+v", f)
+	}
+	if len(f.Benchmarks) != 4 {
+		t.Fatalf("%d benchmarks parsed, want 4 (repeat runs deduped)", len(f.Benchmarks))
+	}
+	byName := map[string]Benchmark{}
+	for _, b := range f.Benchmarks {
+		byName[b.Name] = b
+	}
+	// The -GOMAXPROCS suffix is stripped.
+	j1, ok := byName["BenchmarkCampaignParallel/j=1"]
+	if !ok {
+		t.Fatalf("j=1 benchmark missing (names: %v)", f.Benchmarks)
+	}
+	// -count repeats keep the best (minimum) ns/op.
+	if j1.NsPerOp != 900000000 {
+		t.Errorf("j=1 ns/op %v, want best-of 900000000", j1.NsPerOp)
+	}
+	if j1.Pkg != "cdcs" {
+		t.Errorf("j=1 pkg %q", j1.Pkg)
+	}
+	if j1.Metrics["B/op"] != 123456 || j1.Metrics["allocs/op"] != 7890 {
+		t.Errorf("j=1 metrics %v", j1.Metrics)
+	}
+	// Custom b.ReportMetric units land in Metrics.
+	if ws := byName["BenchmarkExpFig11"].Metrics["ws"]; ws != 1.414 {
+		t.Errorf("custom ws metric = %v, want 1.414", ws)
+	}
+	// Package attribution follows pkg: headers.
+	if got := byName["BenchmarkOptimisticPlace64"].Pkg; got != "cdcs/internal/place" {
+		t.Errorf("place benchmark pkg %q", got)
+	}
+	// Benchmarks without extra metrics have a nil map.
+	if byName["BenchmarkOptimisticPlace64"].Metrics != nil {
+		t.Errorf("expected nil metrics, got %v", byName["BenchmarkOptimisticPlace64"].Metrics)
+	}
+}
+
+func TestParseRejectsBadLines(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader(
+		"BenchmarkX 1 notanumber ns/op\n"))); err == nil {
+		t.Error("bad metric value accepted")
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	f := parseString(t, "no benchmarks here\n")
+	if len(f.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from noise", len(f.Benchmarks))
+	}
+}
+
+// gateFiles builds a baseline/current pair with the given ns/op values for
+// one gated benchmark.
+func gateFiles(baseNs, curNs float64) (*File, *File) {
+	base := &File{Benchmarks: []Benchmark{{Name: "BenchmarkCampaignParallel/j=1", NsPerOp: baseNs, Runs: 5}}}
+	cur := &File{Benchmarks: []Benchmark{{Name: "BenchmarkCampaignParallel/j=1", NsPerOp: curNs, Runs: 5}}}
+	return base, cur
+}
+
+func TestGateWithinBudgetPasses(t *testing.T) {
+	base, cur := gateFiles(1000, 1100) // +10% < 20%
+	if code := gate(base, cur, "BenchmarkCampaignParallel", 0.20); code != 0 {
+		t.Errorf("gate failed a +10%% run: exit %d", code)
+	}
+}
+
+func TestGateRegressionFails(t *testing.T) {
+	base, cur := gateFiles(1000, 1300) // +30% > 20%
+	if code := gate(base, cur, "BenchmarkCampaignParallel", 0.20); code != 1 {
+		t.Errorf("gate passed a +30%% regression: exit %d", code)
+	}
+}
+
+func TestGateSkipsMissingSubBenchmarks(t *testing.T) {
+	base, cur := gateFiles(1000, 1000)
+	base.Benchmarks = append(base.Benchmarks, Benchmark{Name: "BenchmarkCampaignParallel/j=16", NsPerOp: 500})
+	if code := gate(base, cur, "BenchmarkCampaignParallel", 0.20); code != 0 {
+		t.Errorf("gate failed on a baseline-only sub-benchmark: exit %d", code)
+	}
+}
+
+func TestGateNoMatchingBaselineFails(t *testing.T) {
+	base, cur := gateFiles(1000, 1000)
+	if code := gate(base, cur, "BenchmarkNoSuch", 0.20); code != 1 {
+		t.Errorf("gate passed with no matching baseline benchmarks: exit %d", code)
+	}
+}

@@ -1,0 +1,302 @@
+package cdcs
+
+// Config-grid sweeps: a SweepRequest describes a grid of machine
+// configurations (axes over Config fields) crossed with a set of workload
+// mixes, and expands into cells — one CompareRequest per (config, mix)
+// combination. Cells are plain Compare calls: a sweep cell's result is
+// byte-identical to the equivalent standalone CompareRequest.Run, so the
+// serving layer can cache sweeps cell-by-cell in the same content-addressed
+// namespace as /v1/compare, and a sweep that overlaps a prior sweep (or
+// prior individual compares) only simulates the cells it hasn't seen.
+
+import (
+	"fmt"
+	"runtime"
+
+	"cdcs/internal/sim"
+)
+
+// MaxSweepTiles caps the mesh axis: no sweep cell may model more than a
+// 32×32 chip (the largest mesh the pruned placement search is tuned for).
+const MaxSweepTiles = 1024
+
+// MaxSweepCells caps a sweep's expanded grid so a mistyped axis cannot
+// request millions of simulations.
+const MaxSweepCells = 4096
+
+// MeshSize is one value of a sweep's mesh axis.
+type MeshSize struct {
+	Width  int `json:"width"`
+	Height int `json:"height"`
+}
+
+// SweepRequest is the canonical form of a config-grid sweep: the cartesian
+// product of the config axes, crossed with every mix, evaluated under one
+// scheme set and seed. Empty config axes default to the corresponding
+// DefaultConfig value, so the zero grid is the paper's 64-tile chip. It
+// round-trips through JSON, and Hash gives its content address.
+type SweepRequest struct {
+	// Mesh, BankKB, BankLatency, HopLatency, MemLatency, MemChannels are the
+	// machine axes (see Config for field semantics). A latency value of 0
+	// keeps the model default, as in Config.
+	Mesh        []MeshSize `json:"mesh,omitempty"`
+	BankKB      []int      `json:"bank_kb,omitempty"`
+	BankLatency []float64  `json:"bank_latency,omitempty"`
+	HopLatency  []float64  `json:"hop_latency,omitempty"`
+	MemLatency  []float64  `json:"mem_latency,omitempty"`
+	MemChannels []int      `json:"mem_channels,omitempty"`
+	// Mixes is the workload axis; every mix runs on every config (at least
+	// one required).
+	Mixes []MixSpec `json:"mixes"`
+	// Schemes lists scheme names evaluated per cell; the first is the
+	// baseline. Empty means all five standard schemes.
+	Schemes []string `json:"schemes,omitempty"`
+	// Seed seeds every cell: a cell is exactly the standalone
+	// CompareRequest{Config, Mix, Schemes, Seed} (scheme i runs with Seed+i,
+	// as in CompareWithOptions). Seeding is per cell and content-derived —
+	// never positional — so growing an axis re-simulates only the new cells.
+	Seed int64 `json:"seed"`
+}
+
+// Canonical validates the request and fills defaults (single-valued axes from
+// DefaultConfig, the standard scheme list), so requests differing only in how
+// defaults were spelled hash identically.
+func (r SweepRequest) Canonical() (SweepRequest, error) {
+	def := DefaultConfig()
+	if len(r.Mesh) == 0 {
+		r.Mesh = []MeshSize{{Width: def.MeshWidth, Height: def.MeshHeight}}
+	} else {
+		r.Mesh = append([]MeshSize(nil), r.Mesh...)
+	}
+	for _, m := range r.Mesh {
+		if m.Width < 1 || m.Height < 1 {
+			return r, fmt.Errorf("cdcs: sweep mesh %dx%d invalid", m.Width, m.Height)
+		}
+		if m.Width*m.Height > MaxSweepTiles {
+			return r, fmt.Errorf("cdcs: sweep mesh %dx%d exceeds %d tiles", m.Width, m.Height, MaxSweepTiles)
+		}
+	}
+	if len(r.BankKB) == 0 {
+		r.BankKB = []int{def.BankKB}
+	} else {
+		r.BankKB = append([]int(nil), r.BankKB...)
+	}
+	for _, kb := range r.BankKB {
+		if kb <= 0 {
+			return r, fmt.Errorf("cdcs: sweep bank size %dKB invalid", kb)
+		}
+	}
+	fill := func(axis []float64, def float64, name string) ([]float64, error) {
+		if len(axis) == 0 {
+			return []float64{def}, nil
+		}
+		axis = append([]float64(nil), axis...)
+		for _, v := range axis {
+			if v < 0 {
+				return nil, fmt.Errorf("cdcs: sweep %s %g invalid", name, v)
+			}
+		}
+		return axis, nil
+	}
+	var err error
+	if r.BankLatency, err = fill(r.BankLatency, def.BankLatency, "bank latency"); err != nil {
+		return r, err
+	}
+	if r.HopLatency, err = fill(r.HopLatency, def.HopLatency, "hop latency"); err != nil {
+		return r, err
+	}
+	if r.MemLatency, err = fill(r.MemLatency, def.MemLatency, "mem latency"); err != nil {
+		return r, err
+	}
+	if len(r.MemChannels) == 0 {
+		r.MemChannels = []int{def.MemChannels}
+	} else {
+		r.MemChannels = append([]int(nil), r.MemChannels...)
+	}
+	for _, ch := range r.MemChannels {
+		if ch < 0 {
+			return r, fmt.Errorf("cdcs: sweep mem channels %d invalid", ch)
+		}
+	}
+	if len(r.Mixes) == 0 {
+		return r, fmt.Errorf("cdcs: sweep needs at least one mix")
+	}
+	mixes := make([]MixSpec, len(r.Mixes))
+	for i, m := range r.Mixes {
+		nm, err := m.normalize()
+		if err != nil {
+			return r, fmt.Errorf("cdcs: sweep mix %d: %w", i, err)
+		}
+		mixes[i] = nm
+	}
+	r.Mixes = mixes
+	if len(r.Schemes) == 0 {
+		r.Schemes = SchemeNames()
+	} else {
+		r.Schemes = append([]string(nil), r.Schemes...)
+		for _, name := range r.Schemes {
+			if _, ok := SchemeByName(name); !ok {
+				return r, fmt.Errorf("cdcs: unknown scheme %q (known: %v)", name, SchemeNames())
+			}
+		}
+	}
+	if n := r.NumCells(); n > MaxSweepCells {
+		return r, fmt.Errorf("cdcs: sweep expands to %d cells (max %d)", n, MaxSweepCells)
+	}
+	return r, nil
+}
+
+// NumCells returns the size of the expanded grid: the product of the config
+// axes times the mix count. The running product stops multiplying once it
+// exceeds MaxSweepCells, so a crafted request with huge axes cannot wrap the
+// product past the cap (the returned value is then merely "over the cap",
+// not the true count — Canonical rejects such grids, so canonical requests
+// always get the exact count). A request with empty axes counts zero cells.
+func (r SweepRequest) NumCells() int {
+	n := 1
+	for _, k := range []int{
+		len(r.Mesh), len(r.BankKB), len(r.BankLatency), len(r.HopLatency),
+		len(r.MemLatency), len(r.MemChannels), len(r.Mixes),
+	} {
+		if k == 0 {
+			return 0
+		}
+		n *= k
+		if n > MaxSweepCells {
+			return n
+		}
+	}
+	return n
+}
+
+// Hash returns the sweep's content address (see CompareRequest.Hash).
+// Individual cells are addressed by their own CompareRequest hashes; the
+// sweep hash covers the whole grid in axis order.
+func (r SweepRequest) Hash() (string, error) {
+	c, err := r.Canonical()
+	if err != nil {
+		return "", err
+	}
+	return hashJSON("sweep/v1", c)
+}
+
+// SweepCell is one expanded grid point: a standalone CompareRequest plus its
+// content address and position in the grid.
+type SweepCell struct {
+	// Index is the cell's position in the expanded grid (mesh outermost,
+	// then bank KB, bank/hop/mem latency, mem channels, mix innermost).
+	Index int `json:"index"`
+	// Request is the equivalent standalone compare call.
+	Request CompareRequest `json:"request"`
+	// Hash is Request.Hash(): the cell's content address, shared with
+	// /v1/compare's cache namespace.
+	Hash string `json:"hash"`
+}
+
+// Cells canonicalizes the request and expands the grid in deterministic
+// order. Every cell's Request is already canonical.
+func (r SweepRequest) Cells() ([]SweepCell, error) {
+	c, err := r.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]SweepCell, 0, c.NumCells())
+	for _, m := range c.Mesh {
+		for _, kb := range c.BankKB {
+			for _, bl := range c.BankLatency {
+				for _, hl := range c.HopLatency {
+					for _, ml := range c.MemLatency {
+						for _, ch := range c.MemChannels {
+							for _, mix := range c.Mixes {
+								cfg := Config{
+									MeshWidth: m.Width, MeshHeight: m.Height,
+									BankKB:      kb,
+									BankLatency: bl,
+									HopLatency:  hl,
+									MemLatency:  ml,
+									MemChannels: ch,
+								}
+								req := CompareRequest{Config: &cfg, Mix: mix, Schemes: c.Schemes, Seed: c.Seed}
+								canon, err := req.Canonical()
+								if err != nil {
+									return nil, fmt.Errorf("cdcs: sweep cell %d: %w", len(cells), err)
+								}
+								hash, err := canon.Hash()
+								if err != nil {
+									return nil, fmt.Errorf("cdcs: sweep cell %d: %w", len(cells), err)
+								}
+								cells = append(cells, SweepCell{Index: len(cells), Request: canon, Hash: hash})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// SweepCellResult is one evaluated cell.
+type SweepCellResult struct {
+	SweepCell
+	Comparison *Comparison `json:"comparison"`
+}
+
+// SweepResult is a fully evaluated sweep: the canonical request plus every
+// cell's comparison, in grid order.
+type SweepResult struct {
+	Request SweepRequest      `json:"request"`
+	Cells   []SweepCellResult `json:"cells"`
+}
+
+// Sweep expands and evaluates a config-grid sweep with default RunOptions.
+// Cells fan out over the worker pool; results are bit-identical for any
+// worker count and each cell is byte-identical to the standalone Compare.
+func Sweep(req SweepRequest) (*SweepResult, error) {
+	return SweepWithOptions(req, RunOptions{})
+}
+
+// SweepWithOptions is Sweep with explicit execution options. Progress is
+// reported at cell granularity: (cells done, total cells).
+func SweepWithOptions(req SweepRequest, opts RunOptions) (*SweepResult, error) {
+	canon, err := req.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	cells, err := canon.Cells()
+	if err != nil {
+		return nil, err
+	}
+	// Split the worker budget: cells fan out on the outer pool and each
+	// cell's schemes share what's left, so a single-cell sweep still uses
+	// every worker while a wide grid parallelizes across cells. Any split
+	// yields identical results (see sim.Engine).
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	outer := workers
+	if outer > len(cells) {
+		outer = len(cells)
+	}
+	inner := 1
+	if outer > 0 {
+		inner = workers / outer
+		if inner < 1 {
+			inner = 1
+		}
+	}
+	out := &SweepResult{Request: canon, Cells: make([]SweepCellResult, len(cells))}
+	eng := sim.Engine{Parallelism: workers, Ctx: opts.Context, OnProgress: opts.Progress}
+	if err := eng.ForEach(len(cells), func(i int) error {
+		cmp, err := cells[i].Request.Run(RunOptions{Parallelism: inner, Context: opts.Context})
+		if err != nil {
+			return fmt.Errorf("cdcs: sweep cell %d: %w", i, err)
+		}
+		out.Cells[i] = SweepCellResult{SweepCell: cells[i], Comparison: cmp}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
