@@ -1,8 +1,11 @@
 // Command cdcs-serve exposes the simulator as an HTTP JSON service with a
 // content-addressed result cache in front of a bounded job queue:
 //
-//	cdcs-serve                       # serve on :8080
+//	cdcs-serve                       # serve on :8080, memory-only cache
 //	cdcs-serve -addr 127.0.0.1:0     # ephemeral port (printed on startup)
+//	cdcs-serve -cache-dir /var/cache/cdcs -cache-disk-bytes 4294967296
+//	                                 # tiered cache: results persist across
+//	                                 # restarts (warm replays simulate nothing)
 //
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/v1/experiments
@@ -43,12 +46,14 @@ func main() {
 
 func run() int {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address (host:0 picks an ephemeral port)")
-		cache   = flag.Int("cache", 4096, "result cache capacity in entries")
-		queue   = flag.Int("queue", 256, "job queue depth (submissions beyond it get 503)")
-		workers = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS/2)")
-		jobs    = flag.Int("j", 0, "max parallel simulation jobs per request (0 = GOMAXPROCS)")
-		timeout = flag.Duration("timeout", 15*time.Minute, "per-job timeout (0 = none)")
+		addr      = flag.String("addr", ":8080", "listen address (host:0 picks an ephemeral port)")
+		cache     = flag.Int("cache", 4096, "memory-tier result cache capacity in entries")
+		cacheDir  = flag.String("cache-dir", "", "directory for the persistent disk cache tier (empty = memory only)")
+		diskBytes = flag.Int64("cache-disk-bytes", server.DefaultCacheDiskBytes, "disk-tier size cap in bytes, LRU-evicted past it (requires -cache-dir; <0 = uncapped)")
+		queue     = flag.Int("queue", 256, "job queue depth (submissions beyond it get 503)")
+		workers   = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS/2)")
+		jobs      = flag.Int("j", 0, "max parallel simulation jobs per request (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 15*time.Minute, "per-job timeout (0 = none)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -56,19 +61,40 @@ func run() int {
 		flag.PrintDefaults()
 		return 2
 	}
+	if *cacheDir == "" {
+		set := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "cache-disk-bytes" {
+				set = true
+			}
+		})
+		if set {
+			fmt.Fprintln(os.Stderr, "cdcs-serve: -cache-disk-bytes requires -cache-dir")
+			return 2
+		}
+	}
 
 	jobTimeout := *timeout
 	if jobTimeout == 0 {
 		jobTimeout = -1 // flag 0 = no timeout; Options treats 0 as "default"
 	}
-	srv := server.New(server.Options{
+	srv, err := server.New(server.Options{
 		CacheEntries:   *cache,
+		CacheDir:       *cacheDir,
+		CacheDiskBytes: *diskBytes,
 		QueueDepth:     *queue,
 		Workers:        *workers,
 		JobTimeout:     jobTimeout,
 		SimParallelism: *jobs,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdcs-serve: %v\n", err)
+		return 1
+	}
 	defer srv.Close()
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "cdcs-serve: persistent result cache at %s\n", *cacheDir)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -9,6 +9,11 @@
 //	cdcs -sweep grid.json      # evaluate a config grid (see SweepRequest)
 //	cdcs -sweep - -sweep-json  # grid from stdin, full results as JSON
 //
+//	cdcs -sweep grid.json -replicas http://a:8080,http://b:8080
+//	                           # shard cells across cdcs-serve replicas
+//	cdcs -sweep-diff a.json b.json
+//	                           # align two saved SweepResults by cell hash
+//
 // A sweep file is a cdcs.SweepRequest: axes over the machine config (mesh
 // sizes up to 32x32, bank KB, latencies, channels) crossed with a list of
 // mixes, e.g.
@@ -18,11 +23,20 @@
 //	 "mixes": [{"kind": "random", "seed": 1, "n": 16}],
 //	 "schemes": ["S-NUCA", "CDCS"], "seed": 1}
 //
+// With -replicas, each cell is routed to the replica its content address
+// rendezvous-hashes to (retrying on survivors if one is down) and the
+// merged result is byte-identical to a local run — the replicas' result
+// caches, persistent with -cache-dir, absorb repeated and overlapping
+// sweeps. -sweep-diff reads two -sweep-json files, aligns cells by content
+// hash and reports per-cell and aggregate weighted-speedup deltas plus
+// cells present in only one file.
+//
 // Simulation jobs fan out over a worker pool (-j, default all cores);
 // results are bit-identical for any worker count. Ctrl-C cancels the run.
 //
 // Exit status: 0 on success, 1 on any failure (unknown experiment, canceled
-// run, bad sweep file, output write error), 2 on usage errors.
+// run, bad sweep file, unreachable replicas, output write error), 2 on
+// usage errors.
 package main
 
 import (
@@ -32,9 +46,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"maps"
 	"os"
 	"os/signal"
 	"runtime"
+	"slices"
 	"strings"
 	"time"
 
@@ -56,11 +72,18 @@ func run() int {
 		seed      = flag.Int64("seed", 1, "base random seed")
 		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "max parallel simulation jobs (results are identical for any value)")
 		sweep     = flag.String("sweep", "", "run a config-grid sweep from a JSON file (a cdcs.SweepRequest; \"-\" reads stdin)")
-		sweepJSON = flag.Bool("sweep-json", false, "with -sweep, emit the full SweepResult as JSON instead of a table")
+		sweepJSON = flag.Bool("sweep-json", false, "with -sweep or -sweep-diff, emit the full result as JSON instead of a table")
+		replicas  = flag.String("replicas", "", "with -sweep, comma-separated cdcs-serve base URLs to shard cells across")
+		sweepDiff = flag.Bool("sweep-diff", false, "diff two saved SweepResult files (two positional args), aligned by cell content hash")
 	)
 	flag.Parse()
 
-	if flag.NArg() > 0 {
+	if *sweepDiff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "cdcs: -sweep-diff needs exactly two SweepResult files (from -sweep ... -sweep-json)")
+			return 2
+		}
+	} else if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "cdcs: unexpected arguments: %v\n", flag.Args())
 		flag.PrintDefaults()
 		return 2
@@ -69,12 +92,20 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "cdcs: -exp and -all are mutually exclusive")
 		return 2
 	}
-	if *sweep != "" && (*all || *id != "" || *list) {
-		fmt.Fprintln(os.Stderr, "cdcs: -sweep is mutually exclusive with -exp, -all and -list")
+	if *sweep != "" && (*all || *id != "" || *list || *sweepDiff) {
+		fmt.Fprintln(os.Stderr, "cdcs: -sweep is mutually exclusive with -exp, -all, -list and -sweep-diff")
 		return 2
 	}
-	if *sweep != "" {
-		// The grid file is the single source of truth for a sweep: reject
+	if *sweepDiff && (*all || *id != "" || *list) {
+		fmt.Fprintln(os.Stderr, "cdcs: -sweep-diff is mutually exclusive with -exp, -all and -list")
+		return 2
+	}
+	if *replicas != "" && *sweep == "" {
+		fmt.Fprintln(os.Stderr, "cdcs: -replicas requires -sweep")
+		return 2
+	}
+	if *sweep != "" || *sweepDiff {
+		// The grid/result files are the single source of truth: reject
 		// experiment-only flags rather than silently ignoring them.
 		var conflicting []string
 		flag.Visit(func(f *flag.Flag) {
@@ -84,13 +115,13 @@ func run() int {
 			}
 		})
 		if len(conflicting) > 0 {
-			fmt.Fprintf(os.Stderr, "cdcs: %s do not apply to -sweep (the grid file carries seed and mixes)\n",
+			fmt.Fprintf(os.Stderr, "cdcs: %s do not apply to -sweep/-sweep-diff (the files carry seed and mixes)\n",
 				strings.Join(conflicting, ", "))
 			return 2
 		}
 	}
-	if *sweepJSON && *sweep == "" {
-		fmt.Fprintln(os.Stderr, "cdcs: -sweep-json requires -sweep")
+	if *sweepJSON && *sweep == "" && !*sweepDiff {
+		fmt.Fprintln(os.Stderr, "cdcs: -sweep-json requires -sweep or -sweep-diff")
 		return 2
 	}
 
@@ -158,8 +189,17 @@ func run() int {
 	}
 
 	switch {
+	case *sweepDiff:
+		if err := runSweepDiff(out, flag.Arg(0), flag.Arg(1), *sweepJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "cdcs: sweep-diff: %v\n", err)
+			return 1
+		}
+		if flush() != nil {
+			return 1
+		}
+		return 0
 	case *sweep != "":
-		if err := runSweep(out, *sweep, *sweepJSON, cdcs.RunOptions{
+		if err := runSweep(out, *sweep, *sweepJSON, *replicas, cdcs.RunOptions{
 			Parallelism: *jobs,
 			Context:     ctx,
 			Progress: func(done, total int) {
@@ -221,10 +261,11 @@ func readSweepRequest(path string) (cdcs.SweepRequest, error) {
 	return req, nil
 }
 
-// runSweep evaluates the grid and writes a per-cell table (or, with
-// jsonOut, the full SweepResult document) to w. Progress goes to stderr via
-// the options' callback; the line is cleared before the table prints.
-func runSweep(w io.Writer, path string, jsonOut bool, opts cdcs.RunOptions) error {
+// runSweep evaluates the grid — locally, or sharded across -replicas — and
+// writes a per-cell table (or, with jsonOut, the full SweepResult document)
+// to w. Progress goes to stderr via the options' callback; the line is
+// cleared before the table prints.
+func runSweep(w io.Writer, path string, jsonOut bool, replicas string, opts cdcs.RunOptions) error {
 	req, err := readSweepRequest(path)
 	if err != nil {
 		return err
@@ -233,13 +274,39 @@ func runSweep(w io.Writer, path string, jsonOut bool, opts cdcs.RunOptions) erro
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "sweep: %d cells over %d schemes (-j %d)\n",
-		canon.NumCells(), len(canon.Schemes), opts.Parallelism)
+	var res *cdcs.SweepResult
 	start := time.Now()
-	res, err := cdcs.SweepWithOptions(canon, opts)
-	fmt.Fprintf(os.Stderr, "\r%-40s\r", "") // clear the progress line
-	if err != nil {
-		return err
+	if replicas != "" {
+		urls := strings.Split(replicas, ",")
+		fmt.Fprintf(os.Stderr, "sweep: %d cells over %d schemes across %d replicas\n",
+			canon.NumCells(), len(canon.Schemes), len(urls))
+		var stats *cdcs.SweepReplicaStats
+		res, stats, err = cdcs.SweepDistributed(canon, urls, cdcs.DistributedSweepOptions{
+			Parallelism: opts.Parallelism,
+			Context:     opts.Context,
+			Progress:    opts.Progress,
+		})
+		fmt.Fprintf(os.Stderr, "\r%-40s\r", "") // clear the progress line
+		if stats != nil {
+			for _, url := range slices.Sorted(maps.Keys(stats.Cells)) {
+				fmt.Fprintf(os.Stderr, "sweep: %-32s %d cells (%d failed requests)\n",
+					url, stats.Cells[url], stats.Failures[url])
+			}
+			if stats.Retried > 0 {
+				fmt.Fprintf(os.Stderr, "sweep: %d cells retried on surviving replicas\n", stats.Retried)
+			}
+		}
+		if err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "sweep: %d cells over %d schemes (-j %d)\n",
+			canon.NumCells(), len(canon.Schemes), opts.Parallelism)
+		res, err = cdcs.SweepWithOptions(canon, opts)
+		fmt.Fprintf(os.Stderr, "\r%-40s\r", "") // clear the progress line
+		if err != nil {
+			return err
+		}
 	}
 	if jsonOut {
 		enc := json.NewEncoder(w)
@@ -252,6 +319,100 @@ func runSweep(w io.Writer, path string, jsonOut bool, opts cdcs.RunOptions) erro
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d cells in %.1fs\n", len(res.Cells), time.Since(start).Seconds())
 	return nil
+}
+
+// readSweepResult loads a saved SweepResult document (the -sweep-json
+// output format).
+func readSweepResult(path string) (*cdcs.SweepResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var res cdcs.SweepResult
+	dec := json.NewDecoder(f)
+	if err := dec.Decode(&res); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(res.Cells) == 0 {
+		return nil, fmt.Errorf("%s: no cells (is this a -sweep-json file?)", path)
+	}
+	return &res, nil
+}
+
+// runSweepDiff aligns two saved SweepResults by cell content hash and
+// writes per-cell weighted-speedup deltas, aggregates, and unmatched cells
+// (or, with jsonOut, the full SweepDiffResult document) to w.
+func runSweepDiff(w io.Writer, pathA, pathB string, jsonOut bool) error {
+	a, err := readSweepResult(pathA)
+	if err != nil {
+		return err
+	}
+	b, err := readSweepResult(pathB)
+	if err != nil {
+		return err
+	}
+	d, err := cdcs.DiffSweeps(a, b)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d); err != nil {
+			return fmt.Errorf("writing output: %w", err)
+		}
+		return nil
+	}
+	writeDiffTable(w, pathA, pathB, d)
+	return nil
+}
+
+// writeDiffTable renders the diff: one row per aligned cell with each
+// common scheme's WS delta (B minus A), aggregate mean and max-|delta|
+// rows, and the cells present in only one file.
+func writeDiffTable(w io.Writer, pathA, pathB string, d *cdcs.SweepDiffResult) {
+	fmt.Fprintf(w, "sweep-diff: B (%s) minus A (%s), %d aligned cells\n", pathB, pathA, len(d.Common))
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s %7s %-28s", "cell", "mesh", "mix")
+	for _, s := range d.Schemes {
+		fmt.Fprintf(&b, " %10s", "d"+s)
+	}
+	fmt.Fprintln(w, b.String())
+	for _, c := range d.Common {
+		cfg := c.Cell.Config
+		b.Reset()
+		fmt.Fprintf(&b, "%12.12s %7s %-28s",
+			c.Hash, fmt.Sprintf("%dx%d", cfg.MeshWidth, cfg.MeshHeight), c.Cell.Mix.Label())
+		for _, s := range d.Schemes {
+			fmt.Fprintf(&b, " %+10.4f", c.WSDelta[s])
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	for _, agg := range []struct {
+		name string
+		vals map[string]float64
+	}{{"mean", d.MeanWSDelta}, {"max|d|", d.MaxAbsWSDelta}} {
+		b.Reset()
+		fmt.Fprintf(&b, "%12s %7s %-28s", agg.name, "", "")
+		for _, s := range d.Schemes {
+			fmt.Fprintf(&b, " %+10.4f", agg.vals[s])
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	for _, only := range []struct {
+		name  string
+		cells []cdcs.SweepCell
+	}{{"A", d.OnlyA}, {"B", d.OnlyB}} {
+		for _, c := range only.cells {
+			cfg := c.Request.Config
+			fmt.Fprintf(w, "only in %s: %12.12s %dx%d %s\n",
+				only.name, c.Hash, cfg.MeshWidth, cfg.MeshHeight, c.Request.Mix.Label())
+		}
+	}
+	if d.Identical() {
+		fmt.Fprintln(w, "sweep-diff: results are identical")
+	}
 }
 
 // writeSweepTable renders one row per cell: the config axes, the mix, and

@@ -42,11 +42,18 @@ type goldenFile struct {
 
 // goldenRequests returns the corpus inputs: every standard scheme on the
 // paper's 8×8 chip, one 64-app single-threaded mix and one 8×8-thread
-// multithreaded mix, fixed seeds throughout.
+// multithreaded mix, plus a fully-committed 16×16 chip (256 banks — exactly
+// internal/place's PruneThreshold, so the exhaustive/pruned placement
+// boundary itself is pinned: any off-by-one in the threshold or drift in
+// the exhaustive path at its largest extent changes these hashes). Fixed
+// seeds throughout.
 func goldenRequests() map[string]CompareRequest {
+	cfg16 := DefaultConfig()
+	cfg16.MeshWidth, cfg16.MeshHeight = 16, 16
 	return map[string]CompareRequest{
-		"st": {Mix: MixSpec{Kind: MixRandom, Seed: 42, N: 64}, Seed: 1},
-		"mt": {Mix: MixSpec{Kind: MixRandomMT, Seed: 42, N: 8}, Seed: 1},
+		"st":   {Mix: MixSpec{Kind: MixRandom, Seed: 42, N: 64}, Seed: 1},
+		"mt":   {Mix: MixSpec{Kind: MixRandomMT, Seed: 42, N: 8}, Seed: 1},
+		"st16": {Config: &cfg16, Mix: MixSpec{Kind: MixRandom, Seed: 42, N: 256}, Seed: 1},
 	}
 }
 

@@ -1,0 +1,305 @@
+// Package fanout shards content-addressed work units across HTTP replicas.
+//
+// Each unit (a "cell" — one JSON POST whose response is fully determined by
+// its content address) is assigned to a replica by rendezvous hashing of
+// its key: every client ranks the replicas for a key the same way, so
+// independent clients route a cell to the same replica and its result cache
+// absorbs the repeats. When a replica fails, only the cells it owned move —
+// each retries down its own rendezvous ranking onto surviving replicas, the
+// same replicas those cells would hash to if the dead one were removed from
+// the set. No coordination state exists outside the replicas' caches.
+package fanout
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Cell is one unit of work: Body is POSTed to the chosen replica, and Key
+// (the cell's content address) drives replica choice.
+type Cell struct {
+	Index int
+	Key   string
+	Body  []byte
+}
+
+// Result is one completed cell.
+type Result struct {
+	Index int
+	// Replica is the base URL that served the cell.
+	Replica string
+	// Attempts is the number of requests issued for this cell (1 = no
+	// retry).
+	Attempts int
+	// Body is the replica's response body, verbatim.
+	Body []byte
+}
+
+// ReplicaStats describes one replica's share of a fan-out.
+type ReplicaStats struct {
+	// Assigned counts cells whose rendezvous ranking put this replica
+	// first; Served counts cells whose response this replica produced.
+	// They differ only when retries moved work.
+	Assigned int `json:"assigned"`
+	Served   int `json:"served"`
+	// Failed counts requests this replica failed (connection errors and
+	// 5xx responses).
+	Failed int `json:"failed"`
+}
+
+// Stats summarizes a fan-out.
+type Stats struct {
+	Replicas map[string]ReplicaStats `json:"replicas"`
+	// Retried counts cells that needed more than one attempt.
+	Retried int `json:"retried"`
+}
+
+// Options tunes Do. The zero value is usable.
+type Options struct {
+	// Client is the HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// Path is the request path POSTed on each replica (default
+	// "/v1/compare").
+	Path string
+	// Parallelism caps concurrent in-flight requests (default 4 per
+	// replica).
+	Parallelism int
+	// OnProgress, if set, is called after each completed cell with (done,
+	// total).
+	OnProgress func(done, total int)
+}
+
+// Do fans cells out across replicas and returns their results ordered by
+// cell (results[i] belongs to cells[i]). Each cell is tried on every
+// replica in its rendezvous order before the whole fan-out fails; a 4xx
+// response fails immediately (the request itself is invalid — no other
+// replica will accept it). On error the first failure is returned and
+// in-flight work is canceled.
+func Do(ctx context.Context, replicas []string, cells []Cell, opts Options) ([]Result, Stats, error) {
+	stats := Stats{Replicas: map[string]ReplicaStats{}}
+	reps := normalizeReplicas(replicas)
+	if len(reps) == 0 {
+		return nil, stats, fmt.Errorf("fanout: no replicas")
+	}
+	for _, r := range reps {
+		stats.Replicas[r] = ReplicaStats{}
+	}
+	client := opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	path := opts.Path
+	if path == "" {
+		path = "/v1/compare"
+	}
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = 4 * len(reps)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex // guards stats, done, firstErr
+		done     int
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	results := make([]Result, len(cells))
+	next := make(chan int)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				cell := cells[i]
+				ranked := Rank(reps, cell.Key)
+				mu.Lock()
+				rs := stats.Replicas[ranked[0]]
+				rs.Assigned++
+				stats.Replicas[ranked[0]] = rs
+				mu.Unlock()
+
+				res, served, failed, err := tryReplicas(ctx, client, ranked, path, cell)
+				mu.Lock()
+				for _, r := range failed {
+					rs := stats.Replicas[r]
+					rs.Failed++
+					stats.Replicas[r] = rs
+				}
+				if err == nil {
+					rs := stats.Replicas[served]
+					rs.Served++
+					stats.Replicas[served] = rs
+					if res.Attempts > 1 {
+						stats.Retried++
+					}
+					results[i] = res
+					done++
+					// Invoked under mu so (done, total) reports are
+					// monotonic — the callback must not block.
+					if opts.OnProgress != nil {
+						opts.OnProgress(done, len(cells))
+					}
+					mu.Unlock()
+					continue
+				}
+				mu.Unlock()
+				fail(err)
+				return
+			}
+		}()
+	}
+
+feed:
+	for i := range cells {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, stats, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	return results, stats, nil
+}
+
+// tryReplicas walks a cell's rendezvous ranking until a replica answers.
+// It returns the replicas that failed along the way so the caller can
+// account them.
+func tryReplicas(ctx context.Context, client *http.Client, ranked []string, path string, cell Cell) (res Result, served string, failed []string, err error) {
+	var lastErr error
+	for attempt, replica := range ranked {
+		if err := ctx.Err(); err != nil {
+			return Result{}, "", failed, err
+		}
+		body, retriable, err := post(ctx, client, replica+path, cell.Body)
+		if err == nil {
+			return Result{Index: cell.Index, Replica: replica, Attempts: attempt + 1, Body: body}, replica, failed, nil
+		}
+		if !retriable {
+			return Result{}, "", failed, fmt.Errorf("fanout: cell %d on %s: %w", cell.Index, replica, err)
+		}
+		failed = append(failed, replica)
+		lastErr = err
+	}
+	return Result{}, "", failed, fmt.Errorf("fanout: cell %d failed on all %d replicas: %w", cell.Index, len(ranked), lastErr)
+}
+
+// post issues one POST. retriable reports whether another replica might
+// succeed where this one failed: true for transport errors and 5xx, false
+// for 4xx (the request itself is bad).
+func post(ctx context.Context, client *http.Client, url string, body []byte) (respBody []byte, retriable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, true, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, true, err
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return b, false, nil
+	case resp.StatusCode >= 500:
+		return nil, true, fmt.Errorf("%s: %s", resp.Status, trim(b))
+	default:
+		return nil, false, fmt.Errorf("%s: %s", resp.Status, trim(b))
+	}
+}
+
+// trim bounds an error body for message embedding.
+func trim(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}
+
+// normalizeReplicas trims trailing slashes and drops empties and
+// duplicates, preserving first-seen order.
+func normalizeReplicas(replicas []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range replicas {
+		r = strings.TrimRight(strings.TrimSpace(r), "/")
+		if r == "" || seen[r] {
+			continue
+		}
+		seen[r] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+// Rank orders replicas for a key by rendezvous (highest-random-weight)
+// hashing: every replica is scored by SHA-256(replica NUL key) and sorted
+// by descending score. All clients rank identically for a key regardless of
+// the order replicas were listed in, and removing one replica only moves
+// the keys it owned — everything else keeps its ranking. The full order is
+// the retry path: position 0 owns the key, position 1 inherits it if 0 is
+// down, and so on.
+func Rank(replicas []string, key string) []string {
+	type scored struct {
+		replica string
+		score   uint64
+	}
+	ss := make([]scored, len(replicas))
+	for i, r := range replicas {
+		h := sha256.New()
+		io.WriteString(h, r)
+		h.Write([]byte{0})
+		io.WriteString(h, key)
+		sum := h.Sum(nil)
+		ss[i] = scored{replica: r, score: binary.BigEndian.Uint64(sum[:8])}
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].score != ss[j].score {
+			return ss[i].score > ss[j].score
+		}
+		return ss[i].replica < ss[j].replica
+	})
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.replica
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package fanout
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// echoReplica serves /v1/compare by echoing "<name>:<body>" so tests can
+// see which replica produced which result.
+func echoReplica(t *testing.T, name string, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits != nil {
+			hits.Add(1)
+		}
+		body, _ := io.ReadAll(r.Body)
+		fmt.Fprintf(w, "%s:%s", name, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// makeCells builds n cells with hex-ish keys.
+func makeCells(n int) []Cell {
+	cells := make([]Cell, n)
+	for i := range cells {
+		cells[i] = Cell{Index: i, Key: fmt.Sprintf("%064x", i*2654435761), Body: []byte(fmt.Sprintf("c%d", i))}
+	}
+	return cells
+}
+
+func TestRankDeterministicAndOrderInvariant(t *testing.T) {
+	reps := []string{"http://a", "http://b", "http://c"}
+	shuffled := []string{"http://c", "http://a", "http://b"}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("%064x", i)
+		r1 := Rank(reps, key)
+		r2 := Rank(shuffled, key)
+		if strings.Join(r1, ",") != strings.Join(r2, ",") {
+			t.Fatalf("key %s: ranking depends on listing order: %v vs %v", key, r1, r2)
+		}
+		if len(r1) != 3 {
+			t.Fatalf("ranking lost replicas: %v", r1)
+		}
+	}
+}
+
+func TestRankRemovalOnlyMovesOwnedKeys(t *testing.T) {
+	reps := []string{"http://a", "http://b", "http://c"}
+	survivors := []string{"http://a", "http://c"}
+	moved, kept := 0, 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("%064x", i*31)
+		before := Rank(reps, key)[0]
+		after := Rank(survivors, key)[0]
+		if before == "http://b" {
+			moved++
+			continue // owned by the removed replica; may land anywhere
+		}
+		if before != after {
+			t.Fatalf("key %s moved from %s to %s although its owner survived", key, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+func TestDoSpreadsCellsAcrossReplicas(t *testing.T) {
+	a := echoReplica(t, "a", nil)
+	b := echoReplica(t, "b", nil)
+	cells := makeCells(64)
+	results, stats, err := Do(context.Background(), []string{a.URL, b.URL}, cells, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 64 {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("result %d has index %d (order must be deterministic)", i, r.Index)
+		}
+		wantSuffix := fmt.Sprintf(":c%d", i)
+		if !strings.HasSuffix(string(r.Body), wantSuffix) {
+			t.Errorf("result %d body %q does not end with %q", i, r.Body, wantSuffix)
+		}
+	}
+	sa, sb := stats.Replicas[a.URL], stats.Replicas[b.URL]
+	if sa.Served+sb.Served != 64 {
+		t.Errorf("served %d+%d != 64", sa.Served, sb.Served)
+	}
+	// Rendezvous hashing balances within loose bounds.
+	if sa.Served < 16 || sb.Served < 16 {
+		t.Errorf("unbalanced assignment: a=%d b=%d", sa.Served, sb.Served)
+	}
+	if stats.Retried != 0 {
+		t.Errorf("retried = %d with all replicas up", stats.Retried)
+	}
+}
+
+func TestDoRetriesOnSurvivingReplica(t *testing.T) {
+	var aHits atomic.Int64
+	a := echoReplica(t, "a", &aHits)
+	b := echoReplica(t, "b", nil)
+	dead := b.URL
+	b.Close() // connection refused: the classic dead replica
+
+	cells := makeCells(32)
+	results, stats, err := Do(context.Background(), []string{a.URL, dead}, cells, Options{})
+	if err != nil {
+		t.Fatalf("fan-out with one dead replica failed: %v", err)
+	}
+	for i, r := range results {
+		if r.Replica != a.URL {
+			t.Errorf("cell %d served by %s, want the survivor", i, r.Replica)
+		}
+	}
+	if got := stats.Replicas[a.URL].Served; got != 32 {
+		t.Errorf("survivor served %d, want 32", got)
+	}
+	if stats.Replicas[dead].Failed == 0 {
+		t.Error("dead replica's failures not counted")
+	}
+	if stats.Retried == 0 {
+		t.Error("no cells recorded as retried although some were owned by the dead replica")
+	}
+	if int(aHits.Load()) != 32 {
+		t.Errorf("survivor received %d requests, want 32", aHits.Load())
+	}
+}
+
+func TestDoAllReplicasDownFails(t *testing.T) {
+	a := echoReplica(t, "a", nil)
+	b := echoReplica(t, "b", nil)
+	ua, ub := a.URL, b.URL
+	a.Close()
+	b.Close()
+	_, _, err := Do(context.Background(), []string{ua, ub}, makeCells(4), Options{})
+	if err == nil || !strings.Contains(err.Error(), "all 2 replicas") {
+		t.Fatalf("err = %v, want all-replicas failure", err)
+	}
+}
+
+func TestDo4xxIsNotRetried(t *testing.T) {
+	var aHits, bHits atomic.Int64
+	reject := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		aHits.Add(1)
+		http.Error(w, `{"error":"bad request"}`, http.StatusBadRequest)
+	}))
+	defer reject.Close()
+	ok := echoReplica(t, "b", &bHits)
+
+	// One cell, so the rejecting replica is deterministically ranked for it
+	// in at least one of the two orders; try keys until it owns one.
+	var cell Cell
+	for i := 0; ; i++ {
+		cell = Cell{Index: 0, Key: fmt.Sprintf("%064x", i), Body: []byte("x")}
+		if Rank([]string{reject.URL, ok.URL}, cell.Key)[0] == reject.URL {
+			break
+		}
+	}
+	_, _, err := Do(context.Background(), []string{reject.URL, ok.URL}, []Cell{cell}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("err = %v, want 400 failure", err)
+	}
+	if bHits.Load() != 0 {
+		t.Error("4xx was retried on another replica")
+	}
+}
+
+func TestDo5xxFailsOverThenErrorsWhenExhausted(t *testing.T) {
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+	}))
+	defer flaky.Close()
+	ok := echoReplica(t, "b", nil)
+
+	results, stats, err := Do(context.Background(), []string{flaky.URL, ok.URL}, makeCells(8), Options{})
+	if err != nil {
+		t.Fatalf("5xx should fail over: %v", err)
+	}
+	for _, r := range results {
+		if r.Replica != ok.URL {
+			t.Errorf("cell %d served by the 503 replica", r.Index)
+		}
+	}
+	if stats.Replicas[flaky.URL].Served != 0 {
+		t.Error("503 replica credited with served cells")
+	}
+
+	// Alone, the 5xx replica exhausts the ranking.
+	_, _, err = Do(context.Background(), []string{flaky.URL}, makeCells(2), Options{})
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("err = %v, want 503 failure", err)
+	}
+}
+
+func TestDoProgressAndCancellation(t *testing.T) {
+	var calls atomic.Int64
+	a := echoReplica(t, "a", nil)
+	_, _, err := Do(context.Background(), []string{a.URL}, makeCells(10), Options{
+		OnProgress: func(done, total int) {
+			calls.Add(1)
+			if total != 10 {
+				t.Errorf("total = %d", total)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 10 {
+		t.Errorf("progress called %d times, want 10", calls.Load())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = Do(ctx, []string{a.URL}, makeCells(10), Options{})
+	if err == nil {
+		t.Fatal("canceled fan-out returned nil error")
+	}
+}
+
+func TestNormalizeReplicas(t *testing.T) {
+	got := normalizeReplicas([]string{" http://a/ ", "", "http://a", "http://b"})
+	if strings.Join(got, ",") != "http://a,http://b" {
+		t.Fatalf("normalize = %v", got)
+	}
+}

@@ -162,7 +162,7 @@ func (c *Cache) Compute(ctx context.Context, key string, compute func() ([]byte,
 		cl.val, cl.err = compute()
 		c.inflight.Add(-1)
 		if cl.err == nil {
-			c.put(key, cl.val)
+			c.Put(key, cl.val)
 		}
 	}
 	c.flightMu.Lock()
@@ -184,9 +184,11 @@ func (c *Cache) peek(key string) ([]byte, bool) {
 	return nil, false
 }
 
-// put inserts (or refreshes) a key, evicting from the tail of the key's
-// shard when over capacity.
-func (c *Cache) put(key string, val []byte) {
+// Put inserts (or refreshes) a key without going through a flight, evicting
+// from the tail of the key's shard when over capacity. Tiered stores use it
+// to promote entries that were computed elsewhere (e.g. read from a disk
+// tier); most callers want GetOrCompute.
+func (c *Cache) Put(key string, val []byte) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	if el, ok := s.idx[key]; ok {
@@ -198,14 +200,14 @@ func (c *Cache) put(key string, val []byte) {
 		return
 	}
 	s.idx[key] = s.lru.PushFront(&entry{key: key, val: val})
-	c.bytes.Add(int64(len(val)))
+	c.bytes.Add(int64(len(key) + len(val)))
 	var evicted int64
 	for s.lru.Len() > s.cap {
 		el := s.lru.Back()
 		e := el.Value.(*entry)
 		s.lru.Remove(el)
 		delete(s.idx, e.key)
-		c.bytes.Add(-int64(len(e.val)))
+		c.bytes.Add(-int64(len(e.key) + len(e.val)))
 		evicted++
 	}
 	s.mu.Unlock()
@@ -238,7 +240,9 @@ type Stats struct {
 	Evictions int64
 	// Inflight is the current number of distinct computations running.
 	Inflight int64
-	// Entries and Bytes describe current occupancy.
+	// Entries and Bytes describe current occupancy. Bytes counts key and
+	// value bytes per entry, so it is comparable to a disk tier's
+	// per-entry-file accounting.
 	Entries int
 	Bytes   int64
 }

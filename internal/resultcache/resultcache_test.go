@@ -15,14 +15,48 @@ func TestGetPutRoundTrip(t *testing.T) {
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("empty cache reported a hit")
 	}
-	c.put("a", []byte("alpha"))
+	c.Put("a", []byte("alpha"))
 	v, ok := c.Get("a")
 	if !ok || string(v) != "alpha" {
 		t.Fatalf("Get(a) = %q, %v", v, ok)
 	}
 	st := c.Stats()
-	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 5 {
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != int64(len("a")+len("alpha")) {
 		t.Errorf("stats = %+v", st)
+	}
+}
+
+// storedBytes walks the shards and sums the actual stored sizes (key plus
+// value), the quantity Stats().Bytes claims to track.
+func storedBytes(c *Cache) int64 {
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*entry)
+			n += int64(len(e.key) + len(e.val))
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+func TestByteAccountingMatchesStoredSizes(t *testing.T) {
+	c := New(2 * nShards)
+	// Mixed key and value lengths, enough inserts to force evictions, plus
+	// same-key refreshes that grow and shrink the value.
+	for i := 0; i < 8*nShards; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("value-%0*d", i%7, i)))
+	}
+	c.Put("key-0", []byte("grown-replacement-value"))
+	c.Put("key-0", []byte("s"))
+	st := c.Stats()
+	if want := storedBytes(c); st.Bytes != want {
+		t.Errorf("Stats().Bytes = %d, actual stored key+value bytes = %d", st.Bytes, want)
+	}
+	if st.Evictions == 0 {
+		t.Error("test did not exercise eviction accounting")
 	}
 }
 
@@ -45,13 +79,13 @@ func TestLRUEvictionOrder(t *testing.T) {
 	c := New(2 * nShards)
 	k := shardKeys(c, 3)
 
-	c.put(k[0], []byte("0"))
-	c.put(k[1], []byte("1"))
+	c.Put(k[0], []byte("0"))
+	c.Put(k[1], []byte("1"))
 	// Touch k0 so k1 becomes least-recent, then overflow the shard.
 	if _, ok := c.Get(k[0]); !ok {
 		t.Fatal("k0 missing before eviction")
 	}
-	c.put(k[2], []byte("2"))
+	c.Put(k[2], []byte("2"))
 
 	if _, ok := c.peek(k[1]); ok {
 		t.Error("least-recently-used key survived eviction")
@@ -70,7 +104,7 @@ func TestEvictionBoundsOccupancy(t *testing.T) {
 	const capacity = 2 * nShards
 	c := New(capacity)
 	for i := 0; i < 10*capacity; i++ {
-		c.put(fmt.Sprintf("k%d", i), []byte("x"))
+		c.Put(fmt.Sprintf("k%d", i), []byte("x"))
 	}
 	st := c.Stats()
 	if st.Entries > capacity {
@@ -79,21 +113,21 @@ func TestEvictionBoundsOccupancy(t *testing.T) {
 	if int(st.Evictions)+st.Entries != 10*capacity {
 		t.Errorf("evictions(%d) + entries(%d) != inserts(%d)", st.Evictions, st.Entries, 10*capacity)
 	}
-	if st.Bytes != int64(st.Entries) {
-		t.Errorf("bytes = %d, want %d", st.Bytes, st.Entries)
+	if want := storedBytes(c); st.Bytes != want {
+		t.Errorf("bytes = %d, want %d (stored key+value bytes)", st.Bytes, want)
 	}
 }
 
 func TestPutRefreshSameKey(t *testing.T) {
 	c := New(64)
-	c.put("k", []byte("v1"))
-	c.put("k", []byte("longer-v2"))
+	c.Put("k", []byte("v1"))
+	c.Put("k", []byte("longer-v2"))
 	v, ok := c.Get("k")
 	if !ok || string(v) != "longer-v2" {
 		t.Fatalf("Get = %q, %v", v, ok)
 	}
 	st := c.Stats()
-	if st.Entries != 1 || st.Bytes != int64(len("longer-v2")) || st.Evictions != 0 {
+	if st.Entries != 1 || st.Bytes != int64(len("k")+len("longer-v2")) || st.Evictions != 0 {
 		t.Errorf("stats after refresh = %+v", st)
 	}
 }
@@ -199,7 +233,7 @@ func TestWaiterHonorsContext(t *testing.T) {
 
 func TestComputeLeaderRechecksCache(t *testing.T) {
 	c := New(64)
-	c.put("k", []byte("already"))
+	c.Put("k", []byte("already"))
 	v, hit, err := c.Compute(context.Background(), "k", func() ([]byte, error) {
 		t.Error("compute must not run when the value already landed")
 		return nil, nil

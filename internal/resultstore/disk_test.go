@@ -1,0 +1,430 @@
+package resultstore
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// diskKey returns a content-address-shaped key (hex-ish, unique per i).
+func diskKey(i int) string { return fmt.Sprintf("deadbeef%08x", i) }
+
+func TestDiskPutGetRoundTrip(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("absent"); ok {
+		t.Fatal("empty tier reported a hit")
+	}
+	d.Put(diskKey(1), []byte("payload-one"))
+	v, ok := d.Get(diskKey(1))
+	if !ok || string(v) != "payload-one" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	st := d.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Errors != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if want := int64(diskHeaderLen + len("payload-one")); st.Bytes != want {
+		t.Errorf("bytes = %d, want %d (whole entry file)", st.Bytes, want)
+	}
+}
+
+func TestDiskPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		d.Put(diskKey(i), []byte(fmt.Sprintf("value-%d", i)))
+	}
+
+	// A new process: same directory, fresh index.
+	d2, err := OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 5 {
+		t.Fatalf("reopened tier has %d entries, want 5", d2.Len())
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := d2.Get(diskKey(i))
+		if !ok || string(v) != fmt.Sprintf("value-%d", i) {
+			t.Errorf("after reopen, Get(%d) = %q, %v", i, v, ok)
+		}
+	}
+	if st := d2.Stats(); st.Errors != 0 {
+		t.Errorf("reopen produced %d errors", st.Errors)
+	}
+}
+
+// entryPath finds the single entry file for key.
+func entryPath(t *testing.T, d *Disk, key string) string {
+	t.Helper()
+	p := d.path(fileName(key))
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("entry file for %q: %v", key, err)
+	}
+	return p
+}
+
+func TestDiskTruncatedEntryIsMissAndRepaired(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := diskKey(7)
+	d.Put(key, []byte("full-payload-bytes"))
+	p := entryPath(t, d, key)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 3, diskHeaderLen - 1, diskHeaderLen, len(raw) - 1} {
+		if err := os.WriteFile(p, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Reopen so the index reflects the damaged file even if a prior
+		// iteration's Get dropped it.
+		d2, err := OpenDisk(d.Dir(), 0)
+		if err != nil {
+			t.Fatalf("cut=%d: reopen: %v", cut, err)
+		}
+		if v, ok := d2.Get(key); ok {
+			t.Fatalf("cut=%d: truncated entry served as a hit: %q", cut, v)
+		}
+		if st := d2.Stats(); st.Errors == 0 {
+			t.Errorf("cut=%d: corruption not counted", cut)
+		}
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("cut=%d: corrupt file not removed (err=%v)", cut, err)
+		}
+		// The next store of the address repairs the entry.
+		d2.Put(key, []byte("full-payload-bytes"))
+		if v, ok := d2.Get(key); !ok || string(v) != "full-payload-bytes" {
+			t.Fatalf("cut=%d: repaired entry Get = %q, %v", cut, v, ok)
+		}
+		raw, err = os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDiskBitFlippedEntryIsMiss(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := diskKey(9)
+	d.Put(key, []byte("pristine-payload"))
+	p := entryPath(t, d, key)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in every region: magic, checksum, length, payload.
+	for _, off := range []int{0, len(diskMagic) + 1, len(diskMagic) + 33, diskHeaderLen + 2} {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x40
+		if err := os.WriteFile(p, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		d2, err := OpenDisk(d.Dir(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := d2.Get(key); ok {
+			t.Fatalf("offset %d: bit-flipped entry served as a hit: %q", off, v)
+		}
+		d2.Put(key, []byte("pristine-payload"))
+		if _, ok := d2.Get(key); !ok {
+			t.Fatalf("offset %d: entry not repaired", off)
+		}
+	}
+}
+
+func TestDiskSizeCapEvictsLRU(t *testing.T) {
+	entry := int64(diskHeaderLen + 10) // every payload below is 10 bytes
+	d, err := OpenDisk(t.TempDir(), 4*entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		d.Put(diskKey(i), []byte(fmt.Sprintf("payload-%02d", i)))
+	}
+	st := d.Stats()
+	if st.Entries != 4 {
+		t.Fatalf("entries = %d, want 4 (cap %d bytes)", st.Entries, 4*entry)
+	}
+	if st.Bytes > 4*entry {
+		t.Errorf("bytes = %d exceeds cap %d", st.Bytes, 4*entry)
+	}
+	if st.Evictions != 4 {
+		t.Errorf("evictions = %d, want 4", st.Evictions)
+	}
+	// The four newest survive; the four oldest are gone from disk too.
+	for i := 0; i < 4; i++ {
+		if _, ok := d.Get(diskKey(i)); ok {
+			t.Errorf("old entry %d survived eviction", i)
+		}
+		if _, err := os.Stat(d.path(fileName(diskKey(i)))); !os.IsNotExist(err) {
+			t.Errorf("old entry %d file still on disk", i)
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if _, ok := d.Get(diskKey(i)); !ok {
+			t.Errorf("new entry %d evicted", i)
+		}
+	}
+}
+
+func TestDiskRecencySurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(diskKey(0), []byte("aaaaaaaaaa"))
+	d.Put(diskKey(1), []byte("bbbbbbbbbb"))
+	// Backdate both entries, then touch entry 0 via Get so its mtime — the
+	// persisted access index — is newest.
+	old := time.Now().Add(-time.Hour)
+	for i := 0; i < 2; i++ {
+		if err := os.Chtimes(d.path(fileName(diskKey(i))), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := d.Get(diskKey(0)); !ok {
+		t.Fatal("entry 0 missing")
+	}
+
+	// Reopen with a cap that forces one eviction: the stale entry 1 goes.
+	entry := int64(diskHeaderLen + 10)
+	d2, err := OpenDisk(dir, entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d2.Get(diskKey(0)); !ok {
+		t.Error("recently-accessed entry evicted at reopen")
+	}
+	if _, ok := d2.Get(diskKey(1)); ok {
+		t.Error("least-recently-accessed entry survived reopen eviction")
+	}
+}
+
+func TestDiskOpenSweepsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "de"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, "de", "tmp-12345")
+	if err := os.WriteFile(tmp, []byte("half a write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Errorf("temp file was indexed as an entry")
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Errorf("temp file not swept at open")
+	}
+}
+
+func TestDiskUnsafeKeysAreRehashed(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"../../etc/passwd", "UPPER", "", strings.Repeat("k", 200), "sp ace"}
+	for i, k := range keys {
+		val := []byte(fmt.Sprintf("v-%d", i))
+		d.Put(k, val)
+		got, ok := d.Get(k)
+		if !ok || string(got) != string(val) {
+			t.Errorf("key %q: Get = %q, %v", k, got, ok)
+		}
+		name := fileName(k)
+		if strings.ContainsAny(name, "/\\ ") || len(name) > 128+len(entrySuffix) {
+			t.Errorf("key %q mapped to unsafe file name %q", k, name)
+		}
+	}
+	// Nothing escaped the root.
+	err = filepath.Walk(d.Dir(), func(path string, info os.FileInfo, err error) error { return err })
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTieredPromotesDiskHitsToMemory(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(64, disk)
+	computes := 0
+	compute := func() ([]byte, error) { computes++; return []byte("computed"), nil }
+
+	// Cold: compute once, write through to both tiers.
+	v, hit, err := tiered.GetOrCompute(context.Background(), diskKey(1), compute)
+	if err != nil || hit || string(v) != "computed" {
+		t.Fatalf("cold = %q, hit=%v, err=%v", v, hit, err)
+	}
+	if computes != 1 {
+		t.Fatalf("computes = %d", computes)
+	}
+	if _, ok := disk.Get(diskKey(1)); !ok {
+		t.Fatal("value did not reach the disk tier")
+	}
+
+	// A "restart": new memory tier over the same directory.
+	disk2, err := OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := NewTiered(64, disk2)
+	v, hit, err = t2.GetOrCompute(context.Background(), diskKey(1), compute)
+	if err != nil || !hit || string(v) != "computed" {
+		t.Fatalf("warm restart = %q, hit=%v, err=%v", v, hit, err)
+	}
+	if computes != 1 {
+		t.Fatalf("warm restart recomputed (computes = %d)", computes)
+	}
+	// Promoted: the memory tier now serves it without touching disk.
+	diskHits := t2.Stats().Tier("disk").Hits
+	if v, ok := t2.Get(diskKey(1)); !ok || string(v) != "computed" {
+		t.Fatalf("post-promotion Get = %q, %v", v, ok)
+	}
+	st := t2.Stats()
+	if st.Tier("disk").Hits != diskHits {
+		t.Error("promoted entry still read from disk")
+	}
+	if st.Tier("memory").Hits == 0 {
+		t.Error("promotion did not land in the memory tier")
+	}
+}
+
+func TestTieredSingleflightAcrossTiers(t *testing.T) {
+	disk, err := OpenDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(64, disk)
+	var computes int
+	results := make(chan string, 32)
+	block := make(chan struct{})
+	for i := 0; i < 32; i++ {
+		go func() {
+			v, _, err := tiered.GetOrCompute(context.Background(), diskKey(2), func() ([]byte, error) {
+				computes++ // data race here would trip -race if the flight leaked
+				<-block
+				return []byte("once"), nil
+			})
+			if err != nil {
+				results <- err.Error()
+				return
+			}
+			results <- string(v)
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let the herd pile onto the flight
+	close(block)
+	for i := 0; i < 32; i++ {
+		if got := <-results; got != "once" {
+			t.Fatalf("caller got %q", got)
+		}
+	}
+	if computes != 1 {
+		t.Errorf("computes = %d, want 1 (singleflight across tiers)", computes)
+	}
+}
+
+func TestTieredComputeErrorNotStored(t *testing.T) {
+	disk, err := OpenDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(64, disk)
+	_, _, err = tiered.GetOrCompute(context.Background(), diskKey(3), func() ([]byte, error) {
+		return nil, fmt.Errorf("boom")
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if _, ok := tiered.Get(diskKey(3)); ok {
+		t.Error("failed compute left an entry in a tier")
+	}
+	if disk.Len() != 0 {
+		t.Error("failed compute wrote a disk entry")
+	}
+}
+
+func TestTieredCountsOneLookupOncePerTier(t *testing.T) {
+	disk, err := OpenDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(64, disk)
+	// One cold GetOrCompute = exactly one counted miss per tier, even
+	// though the flight re-probes the disk before computing.
+	if _, _, err := tiered.GetOrCompute(context.Background(), diskKey(5), func() ([]byte, error) {
+		return []byte("v"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := tiered.Stats()
+	if m := st.Tier("memory"); m.Hits != 0 || m.Misses != 1 {
+		t.Errorf("memory tier after cold lookup: %+v", m)
+	}
+	if d := st.Tier("disk"); d.Hits != 0 || d.Misses != 1 {
+		t.Errorf("disk tier after cold lookup: %+v (flight re-probe must be uncounted)", d)
+	}
+	// The server's compare path does Get (counted) then Compute (probe
+	// uncounted): still one miss per tier per lookup.
+	if _, ok := tiered.Get(diskKey(6)); ok {
+		t.Fatal("unexpected hit")
+	}
+	if _, _, err := tiered.Compute(context.Background(), diskKey(6), func() ([]byte, error) {
+		return []byte("w"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st = tiered.Stats()
+	if d := st.Tier("disk"); d.Misses != 2 {
+		t.Errorf("disk misses = %d after two cold lookups, want 2", d.Misses)
+	}
+	if h := st.Hits(); h != 0 {
+		t.Errorf("hits = %d, want 0", h)
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	disk, err := OpenDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(64, disk)
+	if _, ok := tiered.Get("miss-both"); ok {
+		t.Fatal("unexpected hit")
+	}
+	st := tiered.Stats()
+	if len(st.Tiers) != 2 || st.Tiers[0].Name != "memory" || st.Tiers[1].Name != "disk" {
+		t.Fatalf("tiers = %+v", st.Tiers)
+	}
+	if st.Misses() != 1 {
+		t.Errorf("full misses = %d, want 1", st.Misses())
+	}
+	if st.Hits() != 0 {
+		t.Errorf("hits = %d, want 0", st.Hits())
+	}
+}

@@ -1,0 +1,92 @@
+// Package resultstore layers the content-addressed result caches into a
+// tiered store: a fast in-memory tier (internal/resultcache's sharded LRU)
+// over an optional persistent disk tier, behind one small Store interface
+// the serving layer programs against.
+//
+// The contract is the same one the memory cache established: simulation is
+// an expensive pure function of a request's content address, so any tier
+// may serve any address and all tiers hold identical bytes for it. The
+// tiered composition preserves singleflight semantics across tiers — for a
+// given address there is at most one disk read and at most one simulation
+// in flight process-wide, no matter how many tiers sit in the path.
+package resultstore
+
+import "context"
+
+// Store is the result-cache surface the serving layer uses: content-hash
+// keyed byte lookups with coalesced computation on miss.
+//
+// All implementations in this package are safe for concurrent use, and the
+// byte slices they return are shared — callers must not modify them.
+type Store interface {
+	// Get returns the stored bytes for key, if present in any tier.
+	Get(key string) ([]byte, bool)
+
+	// GetOrCompute returns the bytes for key, computing and storing them on
+	// a full miss. Concurrent calls for one key coalesce onto a single
+	// computation. hit reports whether the bytes came from a tier (or a
+	// coalesced flight) rather than this caller's own compute.
+	GetOrCompute(ctx context.Context, key string, compute func() ([]byte, error)) (val []byte, hit bool, err error)
+
+	// Compute is GetOrCompute without the initial counted lookup, for
+	// callers that already observed a miss via Get.
+	Compute(ctx context.Context, key string, compute func() ([]byte, error)) (val []byte, hit bool, err error)
+
+	// Stats snapshots per-tier counters, fastest tier first.
+	Stats() Stats
+}
+
+// TierStats are one tier's counters. Bytes includes per-entry overhead
+// (the key for the memory tier, the entry-file framing for the disk tier)
+// so tiers report comparable occupancy numbers.
+type TierStats struct {
+	Name      string `json:"name"`
+	Hits      int64  `json:"hits"`
+	Misses    int64  `json:"misses"`
+	Evictions int64  `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	// Errors counts tolerated I/O and integrity failures (corrupt or
+	// unreadable disk entries treated as misses, failed writes). Always 0
+	// for the memory tier.
+	Errors int64 `json:"errors,omitempty"`
+}
+
+// Stats is a snapshot of a whole store.
+type Stats struct {
+	// Tiers is ordered fastest first ("memory", then "disk" when present).
+	Tiers []TierStats `json:"tiers"`
+	// Coalesced counts callers that waited on another caller's in-flight
+	// computation; Inflight is the current number of distinct computations.
+	Coalesced int64 `json:"coalesced"`
+	Inflight  int64 `json:"inflight"`
+}
+
+// Tier returns the named tier's stats (zero value if absent).
+func (s Stats) Tier(name string) TierStats {
+	for _, t := range s.Tiers {
+		if t.Name == name {
+			return t
+		}
+	}
+	return TierStats{}
+}
+
+// Hits sums hits across tiers; Misses returns the slowest tier's misses
+// (a lookup that missed every tier), so Hits+Misses counts lookups.
+func (s Stats) Hits() int64 {
+	var n int64
+	for _, t := range s.Tiers {
+		n += t.Hits
+	}
+	return n
+}
+
+// Misses returns the miss count of the slowest tier: lookups no tier could
+// serve.
+func (s Stats) Misses() int64 {
+	if len(s.Tiers) == 0 {
+		return 0
+	}
+	return s.Tiers[len(s.Tiers)-1].Misses
+}

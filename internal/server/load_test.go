@@ -35,7 +35,10 @@ func postCompare(t *testing.T, client *http.Client, url, body string) (int, []by
 }
 
 func TestLoad64ConcurrentIdenticalCompares(t *testing.T) {
-	s := New(Options{})
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -95,7 +98,7 @@ func TestLoad64ConcurrentIdenticalCompares(t *testing.T) {
 		t.Errorf("warm wave touched the engine: %d simulations, want 1", n)
 	}
 	st := s.Stats().Cache
-	if st.Hits == 0 {
+	if st.Hits() == 0 {
 		t.Error("warm wave recorded no cache hits")
 	}
 	if st.Inflight != 0 {
@@ -104,7 +107,10 @@ func TestLoad64ConcurrentIdenticalCompares(t *testing.T) {
 }
 
 func TestLoadDistinctRequestsEachSimulateOnce(t *testing.T) {
-	s := New(Options{})
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()

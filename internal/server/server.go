@@ -34,13 +34,23 @@ import (
 	"time"
 
 	"cdcs"
-	"cdcs/internal/resultcache"
+	"cdcs/internal/resultstore"
 )
 
 // Options configures a Server. The zero value picks sensible defaults.
 type Options struct {
-	// CacheEntries bounds the result cache (default 4096 entries).
+	// CacheEntries bounds the memory tier of the result store (default 4096
+	// entries).
 	CacheEntries int
+	// CacheDir, when non-empty, adds a persistent disk tier under that
+	// directory: results survive restarts (a warm replica replays a
+	// completed sweep with zero simulations) and disk hits are promoted
+	// into the memory tier.
+	CacheDir string
+	// CacheDiskBytes caps the disk tier's size; least-recently-used entries
+	// are evicted past it. 0 means DefaultCacheDiskBytes; negative means
+	// uncapped. Ignored without CacheDir.
+	CacheDiskBytes int64
 	// QueueDepth bounds the job queue; submissions beyond it get 503
 	// (default 256).
 	QueueDepth int
@@ -54,9 +64,16 @@ type Options struct {
 	SimParallelism int
 }
 
+// DefaultCacheDiskBytes is the disk-tier cap when CacheDir is set without
+// an explicit size: 1 GiB, roomy for hundreds of thousands of cells.
+const DefaultCacheDiskBytes = 1 << 30
+
 func (o Options) withDefaults() Options {
 	if o.CacheEntries <= 0 {
 		o.CacheEntries = 4096
+	}
+	if o.CacheDiskBytes == 0 {
+		o.CacheDiskBytes = DefaultCacheDiskBytes
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 256
@@ -77,23 +94,35 @@ func (o Options) withDefaults() Options {
 // with New, serve via Handler, release with Close.
 type Server struct {
 	opts        Options
-	cache       *resultcache.Cache
+	cache       resultstore.Store
 	jobs        *manager
-	simulations atomic.Int64 // actual sim.Engine fan-outs (cache misses)
+	simulations atomic.Int64 // actual sim.Engine fan-outs (full store misses)
 	started     time.Time
 }
 
-// New builds a ready-to-serve Server and starts its worker pool.
-func New(opts Options) *Server {
+// New builds a ready-to-serve Server and starts its worker pool. With
+// Options.CacheDir set, the result store is tiered (memory over disk) and
+// New fails if the directory cannot be opened.
+func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
+	var store resultstore.Store
+	if opts.CacheDir != "" {
+		disk, err := resultstore.OpenDisk(opts.CacheDir, opts.CacheDiskBytes)
+		if err != nil {
+			return nil, err
+		}
+		store = resultstore.NewTiered(opts.CacheEntries, disk)
+	} else {
+		store = resultstore.NewMemory(opts.CacheEntries)
+	}
 	s := &Server{
 		opts:    opts,
-		cache:   resultcache.New(opts.CacheEntries),
+		cache:   store,
 		jobs:    newManager(opts.Workers, opts.QueueDepth, opts.JobTimeout),
 		started: time.Now().UTC(),
 	}
 	publishExpvar(s)
-	return s
+	return s, nil
 }
 
 // Close stops the worker pool, canceling running jobs.
@@ -101,7 +130,7 @@ func (s *Server) Close() { s.jobs.close() }
 
 // Stats is a point-in-time snapshot of the serving counters.
 type Stats struct {
-	Cache       resultcache.Stats `json:"cache"`
+	Cache       resultstore.Stats `json:"cache"`
 	QueueDepth  int               `json:"queue_depth"`
 	JobsTotal   uint64            `json:"jobs_total"`
 	JobsRunning int               `json:"jobs_running"`
@@ -276,12 +305,15 @@ func writeCompare(w http.ResponseWriter, hash string, hit bool, body []byte) {
 // sweepCellView is one cell of a /v1/sweep response. Result carries the
 // exact compareResponse bytes the cell's content address maps to, so a sweep
 // cell is byte-identical to the equivalent /v1/compare response body — the
-// two endpoints share one cache namespace.
+// two endpoints share one store namespace. The body is a pure function of
+// the request (no provenance flags), so replaying a sweep on a warm replica
+// — or after a restart onto the same cache directory — returns exactly the
+// same bytes; cache provenance rides in the X-Cache and X-Cells-Cached
+// response headers instead.
 type sweepCellView struct {
-	Index  int  `json:"index"`
-	Cached bool `json:"cached"`
+	Index int `json:"index"`
 	// Result is the cell's compareResponse (hash, canonical request,
-	// comparison), verbatim from the shared cache.
+	// comparison), verbatim from the shared store.
 	Result json.RawMessage `json:"result"`
 }
 
@@ -325,9 +357,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// allCached is written by the job's worker goroutine and read by this
+	// cachedCells is written by the job's worker goroutine and read by this
 	// handler only after <-job.Done, which orders the accesses.
-	allCached := true
+	cachedCells := 0
 	job, err := s.jobs.submit("sweep", hash, func(ctx context.Context, progress func(int, int)) ([]byte, error) {
 		views := make([]sweepCellView, len(cells))
 		for i, cell := range cells {
@@ -349,10 +381,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, fmt.Errorf("cell %d: %w", i, err)
 			}
-			if !hit {
-				allCached = false
+			if hit {
+				cachedCells++
 			}
-			views[i] = sweepCellView{Index: cell.Index, Cached: hit, Result: json.RawMessage(body)}
+			views[i] = sweepCellView{Index: cell.Index, Result: json.RawMessage(body)}
 			progress(i+1, len(cells))
 		}
 		return json.Marshal(sweepResponse{Hash: hash, Request: canon, Cells: views})
@@ -380,7 +412,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	writeCompare(w, hash, allCached, job.resultBytes())
+	// X-Cells-Cached reports how much of the grid the store already held;
+	// X-Cache is "hit" only when no cell needed work.
+	w.Header().Set("X-Cells-Cached", fmt.Sprintf("%d/%d", cachedCells, len(cells)))
+	writeCompare(w, hash, cachedCells == len(cells), job.resultBytes())
 }
 
 // experimentResponse is the cached /v1/experiment result body (embedded in
@@ -543,13 +578,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	line := func(name string, v any) {
 		fmt.Fprintf(&b, "%s %v\n", name, v)
 	}
-	line("cdcs_cache_hits_total", st.Cache.Hits)
-	line("cdcs_cache_misses_total", st.Cache.Misses)
+	// Cache counters carry a tier label ("memory", and "disk" when the
+	// store is persistent) so dashboards can tell a RAM hit from a
+	// warm-start disk hit.
+	for _, tier := range st.Cache.Tiers {
+		tl := func(name string, v any) {
+			fmt.Fprintf(&b, "%s{tier=%q} %v\n", name, tier.Name, v)
+		}
+		tl("cdcs_cache_hits_total", tier.Hits)
+		tl("cdcs_cache_misses_total", tier.Misses)
+		tl("cdcs_cache_evictions_total", tier.Evictions)
+		tl("cdcs_cache_entries", tier.Entries)
+		tl("cdcs_cache_bytes", tier.Bytes)
+		tl("cdcs_cache_errors_total", tier.Errors)
+	}
 	line("cdcs_cache_coalesced_total", st.Cache.Coalesced)
-	line("cdcs_cache_evictions_total", st.Cache.Evictions)
 	line("cdcs_cache_inflight", st.Cache.Inflight)
-	line("cdcs_cache_entries", st.Cache.Entries)
-	line("cdcs_cache_bytes", st.Cache.Bytes)
 	line("cdcs_queue_depth", st.QueueDepth)
 	line("cdcs_jobs_total", st.JobsTotal)
 	line("cdcs_jobs_running", st.JobsRunning)

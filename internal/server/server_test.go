@@ -14,7 +14,10 @@ import (
 // testServer builds a server with a small footprint and its handler.
 func testServer(t *testing.T, opts Options) (*Server, http.Handler) {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(s.Close)
 	return s, s.Handler()
 }
@@ -284,7 +287,10 @@ func TestQueueFullReturns503(t *testing.T) {
 }
 
 func TestSubmitAfterCloseReturns503(t *testing.T) {
-	s := New(Options{})
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	h := s.Handler()
 	s.Close()
 	// A request racing shutdown must be rejected, not stranded on a queue
@@ -318,7 +324,10 @@ func TestJobRegistryRetentionBounded(t *testing.T) {
 }
 
 func TestJobSSEStream(t *testing.T) {
-	s := New(Options{})
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()

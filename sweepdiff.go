@@ -1,0 +1,143 @@
+package cdcs
+
+// Sweep diffing: two SweepResults — different code revisions, scheme
+// variants, or machines — align by cell content hash, not by grid
+// position, so adding an axis value or reordering mixes between runs never
+// mispairs cells. The diff reports per-cell and aggregate weighted-speedup
+// deltas plus the cells only one side evaluated.
+
+import "fmt"
+
+// SweepCellDelta is one cell present in both results.
+type SweepCellDelta struct {
+	// Hash is the cell's content address (equal on both sides by
+	// construction).
+	Hash string `json:"hash"`
+	// IndexA and IndexB are the cell's grid positions in each result.
+	IndexA int `json:"index_a"`
+	IndexB int `json:"index_b"`
+	// Cell is the (shared) canonical request.
+	Cell CompareRequest `json:"cell"`
+	// WSDelta maps scheme name to B's weighted speedup minus A's, over the
+	// schemes both sides evaluated.
+	WSDelta map[string]float64 `json:"ws_delta"`
+}
+
+// SweepDiffResult is the alignment of two sweeps.
+type SweepDiffResult struct {
+	// Schemes lists the scheme names common to both sweeps, in A's order.
+	Schemes []string `json:"schemes"`
+	// Common holds per-cell deltas for cells in both sweeps, ordered by A's
+	// grid order.
+	Common []SweepCellDelta `json:"common"`
+	// OnlyA and OnlyB list cells evaluated by just one side, in that side's
+	// grid order.
+	OnlyA []SweepCell `json:"only_a,omitempty"`
+	OnlyB []SweepCell `json:"only_b,omitempty"`
+	// MeanWSDelta and MaxAbsWSDelta aggregate WSDelta over the common
+	// cells per scheme (mean of signed deltas; largest magnitude).
+	MeanWSDelta   map[string]float64 `json:"mean_ws_delta"`
+	MaxAbsWSDelta map[string]float64 `json:"max_abs_ws_delta"`
+}
+
+// DiffSweeps aligns two sweep results by cell content hash. Cells with the
+// same hash asked for the identical computation, so any weighted-speedup
+// delta between aligned cells is a behavioral difference between the code
+// (or environment) that produced each file, never a workload difference.
+func DiffSweeps(a, b *SweepResult) (*SweepDiffResult, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("cdcs: diff needs two sweep results")
+	}
+	bByHash := make(map[string]SweepCellResult, len(b.Cells))
+	for _, cell := range b.Cells {
+		bByHash[cell.Hash] = cell
+	}
+	schemes := commonSchemes(a.Request.Schemes, b.Request.Schemes)
+	if len(schemes) == 0 {
+		return nil, fmt.Errorf("cdcs: sweeps share no schemes (%v vs %v)", a.Request.Schemes, b.Request.Schemes)
+	}
+
+	out := &SweepDiffResult{
+		Schemes:       schemes,
+		MeanWSDelta:   map[string]float64{},
+		MaxAbsWSDelta: map[string]float64{},
+	}
+	matchedB := map[string]bool{}
+	for _, ca := range a.Cells {
+		cb, ok := bByHash[ca.Hash]
+		if !ok {
+			out.OnlyA = append(out.OnlyA, ca.SweepCell)
+			continue
+		}
+		matchedB[ca.Hash] = true
+		if ca.Comparison == nil || cb.Comparison == nil {
+			return nil, fmt.Errorf("cdcs: cell %.12s is missing its comparison", ca.Hash)
+		}
+		delta := make(map[string]float64, len(schemes))
+		for _, s := range schemes {
+			delta[s] = cb.Comparison.WeightedSpeedup[s] - ca.Comparison.WeightedSpeedup[s]
+		}
+		out.Common = append(out.Common, SweepCellDelta{
+			Hash:    ca.Hash,
+			IndexA:  ca.Index,
+			IndexB:  cb.Index,
+			Cell:    ca.Request,
+			WSDelta: delta,
+		})
+	}
+	for _, cb := range b.Cells {
+		if !matchedB[cb.Hash] {
+			out.OnlyB = append(out.OnlyB, cb.SweepCell)
+		}
+	}
+
+	for _, s := range schemes {
+		var sum, maxAbs float64
+		for _, d := range out.Common {
+			v := d.WSDelta[s]
+			sum += v
+			if v < 0 {
+				v = -v
+			}
+			if v > maxAbs {
+				maxAbs = v
+			}
+		}
+		if n := len(out.Common); n > 0 {
+			out.MeanWSDelta[s] = sum / float64(n)
+		}
+		out.MaxAbsWSDelta[s] = maxAbs
+	}
+	return out, nil
+}
+
+// commonSchemes returns the names in both lists, in a's order.
+func commonSchemes(a, b []string) []string {
+	inB := make(map[string]bool, len(b))
+	for _, s := range b {
+		inB[s] = true
+	}
+	var out []string
+	for _, s := range a {
+		if inB[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Identical reports whether every aligned cell's deltas are exactly zero
+// and no cell is unmatched — the "no behavioral drift" verdict.
+func (d *SweepDiffResult) Identical() bool {
+	if len(d.OnlyA) > 0 || len(d.OnlyB) > 0 {
+		return false
+	}
+	for _, c := range d.Common {
+		for _, v := range c.WSDelta {
+			if v != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,121 @@
+package cdcs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// diffBaseSweep is a tiny grid used by the diff tests: 2 hop latencies on a
+// 4x4 chip, one mix, two schemes.
+func diffBaseSweep(t *testing.T, hops []float64) *SweepResult {
+	t.Helper()
+	res, err := Sweep(SweepRequest{
+		Mesh:       []MeshSize{{Width: 4, Height: 4}},
+		HopLatency: hops,
+		Mixes:      []MixSpec{{Kind: MixRandom, Seed: 9, N: 4}},
+		Schemes:    []string{"S-NUCA", "CDCS"},
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDiffSweepsIdenticalRuns(t *testing.T) {
+	a := diffBaseSweep(t, []float64{2, 4})
+	b := diffBaseSweep(t, []float64{2, 4})
+	d, err := DiffSweeps(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Identical() {
+		t.Errorf("identical runs diff as different: %+v", d)
+	}
+	if len(d.Common) != 2 || len(d.OnlyA) != 0 || len(d.OnlyB) != 0 {
+		t.Errorf("common=%d onlyA=%d onlyB=%d", len(d.Common), len(d.OnlyA), len(d.OnlyB))
+	}
+	for _, s := range d.Schemes {
+		if d.MeanWSDelta[s] != 0 || d.MaxAbsWSDelta[s] != 0 {
+			t.Errorf("scheme %s aggregates nonzero on identical runs", s)
+		}
+	}
+}
+
+func TestDiffSweepsAlignsByHashNotPosition(t *testing.T) {
+	a := diffBaseSweep(t, []float64{2, 4})
+	// B evaluates the same two cells at different grid positions (an axis
+	// value prepended) plus one new cell.
+	b := diffBaseSweep(t, []float64{1, 2, 4})
+	d, err := DiffSweeps(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Common) != 2 {
+		t.Fatalf("common = %d, want 2", len(d.Common))
+	}
+	for _, c := range d.Common {
+		if c.IndexA == c.IndexB {
+			t.Errorf("cell %.12s kept the same index although the grid shifted", c.Hash)
+		}
+		for s, v := range c.WSDelta {
+			if v != 0 {
+				t.Errorf("cell %.12s scheme %s delta = %g, want 0 (same computation)", c.Hash, s, v)
+			}
+		}
+	}
+	if len(d.OnlyA) != 0 {
+		t.Errorf("onlyA = %d, want 0", len(d.OnlyA))
+	}
+	if len(d.OnlyB) != 1 || d.OnlyB[0].Request.Config.HopLatency != 1 {
+		t.Errorf("onlyB = %+v, want the hop-1 cell", d.OnlyB)
+	}
+	if d.Identical() {
+		t.Error("diff with an unmatched cell claims identical")
+	}
+}
+
+func TestDiffSweepsReportsDeltas(t *testing.T) {
+	a := diffBaseSweep(t, []float64{2})
+	b := diffBaseSweep(t, []float64{2})
+	// Simulate a code revision that improved CDCS on the cell.
+	b.Cells[0].Comparison.WeightedSpeedup["CDCS"] += 0.25
+	d, err := DiffSweeps(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Common[0].WSDelta["CDCS"]; got != 0.25 {
+		t.Errorf("CDCS delta = %g, want 0.25", got)
+	}
+	if got := d.Common[0].WSDelta["S-NUCA"]; got != 0 {
+		t.Errorf("S-NUCA delta = %g, want 0", got)
+	}
+	if d.MeanWSDelta["CDCS"] != 0.25 || d.MaxAbsWSDelta["CDCS"] != 0.25 {
+		t.Errorf("aggregates = %+v / %+v", d.MeanWSDelta, d.MaxAbsWSDelta)
+	}
+	if d.Identical() {
+		t.Error("nonzero delta claims identical")
+	}
+}
+
+func TestDiffSweepsSchemeIntersection(t *testing.T) {
+	a := diffBaseSweep(t, []float64{2})
+	var b SweepResult
+	raw, _ := json.Marshal(a)
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatal(err)
+	}
+	b.Request.Schemes = []string{"CDCS", "Jigsaw+R"}
+	d, err := DiffSweeps(a, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Schemes) != 1 || d.Schemes[0] != "CDCS" {
+		t.Errorf("schemes = %v, want [CDCS]", d.Schemes)
+	}
+
+	b.Request.Schemes = []string{"R-NUCA"}
+	if _, err := DiffSweeps(a, &b); err == nil {
+		t.Error("disjoint scheme sets accepted")
+	}
+}

@@ -1,0 +1,118 @@
+package cdcs
+
+// Distributed sweeps: the cells of a SweepRequest are independent
+// CompareRequests with content addresses, so a sweep shards across
+// cdcs-serve replicas with no new server state — each cell is POSTed to
+// /v1/compare on the replica its address rendezvous-hashes to (see
+// internal/fanout), failed shards retry on surviving replicas, and the
+// responses merge in deterministic cell order. Because every replica's
+// response is byte-determined by the cell's content address, the merged
+// SweepResult is bit-identical to a local Sweep and to any other replica
+// count: 1 replica, N replicas and in-process evaluation all marshal to the
+// same bytes.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"cdcs/internal/fanout"
+)
+
+// DistributedSweepOptions tunes SweepDistributed. The zero value is usable.
+type DistributedSweepOptions struct {
+	// Client is the HTTP client used for replica requests (default
+	// http.DefaultClient — supply one with a timeout for production use).
+	Client *http.Client
+	// Parallelism caps concurrent in-flight cell requests across all
+	// replicas (default 4 per replica).
+	Parallelism int
+	// Context cancels the fan-out.
+	Context context.Context
+	// Progress, if set, receives (cells done, total cells).
+	Progress func(done, total int)
+}
+
+// SweepReplicaStats reports how a distributed sweep spread over replicas,
+// keyed by normalized replica base URL.
+type SweepReplicaStats struct {
+	// Cells counts cells each replica served.
+	Cells map[string]int `json:"cells"`
+	// Failures counts failed requests per replica (connection errors, 5xx);
+	// a replica with failures and zero served cells was down throughout.
+	Failures map[string]int `json:"failures,omitempty"`
+	// Retried counts cells that moved off their first-choice replica.
+	Retried int `json:"retried,omitempty"`
+}
+
+// SweepDistributed evaluates a config-grid sweep by sharding its cells
+// across cdcs-serve replicas (base URLs like "http://host:8080"). Cells are
+// routed by rendezvous hash of their content address, so concurrent clients
+// sweeping overlapping grids converge on the same replica per cell and its
+// result cache coalesces the work; a replica failure moves only that
+// replica's cells onto survivors. The merged result is byte-identical to
+// Sweep's for any replica count.
+func SweepDistributed(req SweepRequest, replicas []string, opts DistributedSweepOptions) (*SweepResult, *SweepReplicaStats, error) {
+	canon, err := req.Canonical()
+	if err != nil {
+		return nil, nil, err
+	}
+	cells, err := canon.Cells()
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	units := make([]fanout.Cell, len(cells))
+	for i, cell := range cells {
+		body, err := json.Marshal(cell.Request)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cdcs: sweep cell %d: %w", i, err)
+		}
+		units[i] = fanout.Cell{Index: i, Key: cell.Hash, Body: body}
+	}
+
+	results, fstats, err := fanout.Do(ctx, replicas, units, fanout.Options{
+		Client:      opts.Client,
+		Path:        "/v1/compare",
+		Parallelism: opts.Parallelism,
+		OnProgress:  opts.Progress,
+	})
+	stats := &SweepReplicaStats{Cells: map[string]int{}, Failures: map[string]int{}, Retried: fstats.Retried}
+	for url, rs := range fstats.Replicas {
+		stats.Cells[url] = rs.Served
+		if rs.Failed > 0 {
+			stats.Failures[url] = rs.Failed
+		}
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+
+	out := &SweepResult{Request: canon, Cells: make([]SweepCellResult, len(cells))}
+	for i, res := range results {
+		// compareEnvelope mirrors the serving layer's /v1/compare body.
+		var env struct {
+			Hash       string      `json:"hash"`
+			Comparison *Comparison `json:"comparison"`
+		}
+		if err := json.Unmarshal(res.Body, &env); err != nil {
+			return nil, stats, fmt.Errorf("cdcs: cell %d response from %s: %w", i, res.Replica, err)
+		}
+		// The replica echoes the content address it computed for the cell;
+		// a mismatch means it answered a different question than asked.
+		if env.Hash != cells[i].Hash {
+			return nil, stats, fmt.Errorf("cdcs: cell %d response hash %.12s from %s does not match request hash %.12s",
+				i, env.Hash, res.Replica, cells[i].Hash)
+		}
+		if env.Comparison == nil {
+			return nil, stats, fmt.Errorf("cdcs: cell %d response from %s has no comparison", i, res.Replica)
+		}
+		out.Cells[i] = SweepCellResult{SweepCell: cells[i], Comparison: env.Comparison}
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,153 @@
+package cdcs_test
+
+// External test package: it wires the public SweepDistributed API to real
+// cdcs-serve handlers (internal/server), which the in-package tests cannot
+// import without a cycle.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cdcs"
+	"cdcs/internal/server"
+)
+
+// distReplica starts one in-process cdcs-serve replica.
+func distReplica(t *testing.T, opts server.Options) *httptest.Server {
+	t.Helper()
+	s, err := server.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// distGrid expands to 16 fast cells (4x4 chip, 2 bank sizes x 4 hop
+// latencies x 2 mixes), enough for rendezvous hashing to involve both
+// replicas with overwhelming probability.
+func distGrid() cdcs.SweepRequest {
+	return cdcs.SweepRequest{
+		Mesh:       []cdcs.MeshSize{{Width: 4, Height: 4}},
+		BankKB:     []int{128, 256},
+		HopLatency: []float64{1, 2, 3, 4},
+		Mixes:      []cdcs.MixSpec{{Kind: cdcs.MixRandom, Seed: 5, N: 4}, {Kind: cdcs.MixRandom, Seed: 6, N: 4}},
+		Schemes:    []string{"S-NUCA", "CDCS"},
+		Seed:       1,
+	}
+}
+
+// TestSweepDistributedMergesByteIdentical is the tentpole acceptance test:
+// a sweep fanned over 2 replicas merges to the exact bytes of a
+// single-replica run and of an in-process Sweep. CI runs it under -race.
+func TestSweepDistributedMergesByteIdentical(t *testing.T) {
+	req := distGrid()
+	local, err := cdcs.Sweep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localJSON, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := distReplica(t, server.Options{})
+	b := distReplica(t, server.Options{})
+
+	two, stats2, err := cdcs.SweepDistributed(req, []string{a.URL, b.URL}, cdcs.DistributedSweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoJSON, err := json.Marshal(two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(twoJSON, localJSON) {
+		t.Error("2-replica sweep is not byte-identical to the in-process Sweep")
+	}
+	total := 0
+	for _, n := range stats2.Cells {
+		total += n
+	}
+	if total != 16 {
+		t.Fatalf("replicas served %d cells, want 16 (%+v)", total, stats2.Cells)
+	}
+	if stats2.Cells[strings.TrimRight(a.URL, "/")] == 0 || stats2.Cells[strings.TrimRight(b.URL, "/")] == 0 {
+		t.Errorf("sweep did not spread across both replicas: %+v", stats2.Cells)
+	}
+
+	// Single replica (fresh, cold) merges to the same bytes.
+	c := distReplica(t, server.Options{})
+	one, _, err := cdcs.SweepDistributed(req, []string{c.URL}, cdcs.DistributedSweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneJSON, err := json.Marshal(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(oneJSON, twoJSON) {
+		t.Error("1-replica and 2-replica sweeps merged to different bytes")
+	}
+
+	// Replaying against the now-warm replicas changes nothing.
+	again, _, err := cdcs.SweepDistributed(req, []string{a.URL, b.URL}, cdcs.DistributedSweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	againJSON, err := json.Marshal(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(againJSON, twoJSON) {
+		t.Error("warm distributed replay differs from the cold run")
+	}
+}
+
+// TestSweepDistributedSurvivesReplicaDown is the satellite coverage: with
+// one of two replicas down the sweep still completes, entirely on the
+// survivor, and still merges to the same bytes.
+func TestSweepDistributedSurvivesReplicaDown(t *testing.T) {
+	req := distGrid()
+	a := distReplica(t, server.Options{})
+	b := distReplica(t, server.Options{})
+	deadURL := b.URL
+	b.Close()
+
+	res, stats, err := cdcs.SweepDistributed(req, []string{a.URL, deadURL}, cdcs.DistributedSweepOptions{})
+	if err != nil {
+		t.Fatalf("sweep with one replica down failed: %v", err)
+	}
+	if got := stats.Cells[strings.TrimRight(a.URL, "/")]; got != 16 {
+		t.Errorf("survivor served %d cells, want 16", got)
+	}
+	if stats.Failures[strings.TrimRight(deadURL, "/")] == 0 {
+		t.Error("dead replica's failures not reported")
+	}
+
+	local, err := cdcs.Sweep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resJSON, _ := json.Marshal(res)
+	localJSON, _ := json.Marshal(local)
+	if !bytes.Equal(resJSON, localJSON) {
+		t.Error("degraded sweep is not byte-identical to the in-process Sweep")
+	}
+}
+
+// TestSweepDistributedValidation: request errors surface without any HTTP
+// traffic, and an empty replica list is rejected.
+func TestSweepDistributedValidation(t *testing.T) {
+	if _, _, err := cdcs.SweepDistributed(cdcs.SweepRequest{}, []string{"http://x"}, cdcs.DistributedSweepOptions{}); err == nil {
+		t.Error("sweep with no mixes accepted")
+	}
+	if _, _, err := cdcs.SweepDistributed(distGrid(), nil, cdcs.DistributedSweepOptions{}); err == nil {
+		t.Error("empty replica list accepted")
+	}
+}
