@@ -6,6 +6,7 @@
 //	cdcs-serve -cache-dir /var/cache/cdcs -cache-disk-bytes 4294967296
 //	                                 # tiered cache: results persist across
 //	                                 # restarts (warm replays simulate nothing)
+//	cdcs-serve -pprof                # opt-in net/http/pprof at /debug/pprof/
 //
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/v1/experiments
@@ -32,6 +33,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,6 +56,7 @@ func run() int {
 		workers   = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS/2)")
 		jobs      = flag.Int("j", 0, "max parallel simulation jobs per request (0 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 15*time.Minute, "per-job timeout (0 = none)")
+		pprof     = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ (off by default; enable only on trusted networks)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -105,8 +108,26 @@ func run() int {
 	// can scrape the ephemeral port.
 	fmt.Printf("cdcs-serve: listening on %s\n", ln.Addr())
 
+	handler := srv.Handler()
+	if *pprof {
+		// Profiling endpoints are opt-in so the default deployment exposes
+		// no introspection surface; with -pprof, hot-path work (placement,
+		// cache tiers) starts from a CPU/heap profile instead of a guess:
+		//   go tool pprof http://HOST/debug/pprof/profile?seconds=30
+		//   go tool pprof http://HOST/debug/pprof/heap
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		handler = mux
+		fmt.Fprintln(os.Stderr, "cdcs-serve: pprof handlers mounted at /debug/pprof/")
+	}
+
 	hs := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -104,6 +104,15 @@ type Result struct {
 // an error when the mix does not fit the chip (more threads than cores) or
 // when inputs are inconsistent.
 func Reconfigure(cfg Config, mix *workload.Mix, fixedThreads []mesh.Tile) (Result, error) {
+	return ReconfigureWith(cfg, mix, fixedThreads, nil)
+}
+
+// ReconfigureWith is Reconfigure with a reusable placement arena: passing a
+// non-nil arena makes the steady-state placement pipeline (steps 2-4)
+// allocation-free across rounds. The returned Result then borrows the
+// arena's memory (Assignment, ThreadCore, Optimistic) and stays valid only
+// until the arena's next use; pass nil to get an independent Result.
+func ReconfigureWith(cfg Config, mix *workload.Mix, fixedThreads []mesh.Tile, ar *place.Arena) (Result, error) {
 	nThreads := len(mix.Threads)
 	if nThreads > cfg.Chip.Banks() {
 		return Result{}, fmt.Errorf("core: %d threads exceed %d cores", nThreads, cfg.Chip.Banks())
@@ -113,6 +122,9 @@ func Reconfigure(cfg Config, mix *workload.Mix, fixedThreads []mesh.Tile) (Resul
 			return Result{}, fmt.Errorf("core: fixed thread placement covers %d of %d threads", len(fixedThreads), nThreads)
 		}
 	}
+	if ar == nil {
+		ar = place.NewArena()
+	}
 
 	var res Result
 
@@ -121,20 +133,24 @@ func Reconfigure(cfg Config, mix *workload.Mix, fixedThreads []mesh.Tile) (Resul
 	res.VCSizes = allocate(cfg, mix)
 	res.Timing.Alloc = time.Since(start)
 
-	demands := make([]place.Demand, len(mix.VCs))
+	totalAcc := 0
 	for v := range mix.VCs {
-		demands[v] = place.Demand{Size: res.VCSizes[v], Accessors: mix.VCs[v].Accessors}
+		totalAcc += len(mix.VCs[v].Accessors)
+	}
+	demands := ar.StartDemands(len(mix.VCs), totalAcc)
+	for v := range mix.VCs {
+		demands = ar.AppendDemand(demands, res.VCSizes[v], mix.VCs[v].Accessors)
 	}
 
 	// Step 2: optimistic contention-aware VC placement.
 	start = time.Now()
-	res.Optimistic = place.OptimisticPlace(cfg.Chip, demands)
+	res.Optimistic = place.OptimisticPlaceIn(ar, cfg.Chip, demands)
 	res.Timing.VCPlace = time.Since(start)
 
 	// Step 3: thread placement.
 	start = time.Now()
 	if cfg.Feats.ThreadPlace {
-		res.ThreadCore = place.PlaceThreads(cfg.Chip, demands, res.Optimistic, nThreads)
+		res.ThreadCore = place.PlaceThreadsIn(ar, cfg.Chip, demands, res.Optimistic, nThreads)
 	} else {
 		res.ThreadCore = append([]mesh.Tile(nil), fixedThreads[:nThreads]...)
 	}
@@ -142,9 +158,9 @@ func Reconfigure(cfg Config, mix *workload.Mix, fixedThreads []mesh.Tile) (Resul
 
 	// Step 4: refined data placement.
 	start = time.Now()
-	res.Assignment = place.Greedy(cfg.Chip, demands, res.ThreadCore, cfg.chunk())
+	res.Assignment = place.GreedyIn(ar, cfg.Chip, demands, res.ThreadCore, cfg.chunk())
 	if cfg.Feats.RefinedTrades {
-		res.Trades, res.TradeGain = place.Refine(cfg.Chip, demands, res.Assignment, res.ThreadCore)
+		res.Trades, res.TradeGain = place.RefineIn(ar, cfg.Chip, demands, res.Assignment, res.ThreadCore)
 	}
 	res.Timing.DataPlace = time.Since(start)
 
@@ -180,7 +196,7 @@ func allocate(cfg Config, mix *workload.Mix) []float64 {
 func (r Result) OnChipLatency(cfg Config, mix *workload.Mix) float64 {
 	demands := make([]place.Demand, len(mix.VCs))
 	for v := range mix.VCs {
-		demands[v] = place.Demand{Size: r.VCSizes[v], Accessors: mix.VCs[v].Accessors}
+		demands[v] = place.NewDemand(r.VCSizes[v], mix.VCs[v].Accessors)
 	}
 	return place.OnChipLatency(cfg.Chip, demands, r.Assignment, r.ThreadCore)
 }

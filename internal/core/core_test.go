@@ -34,7 +34,7 @@ func TestReconfigureCaseStudyShape(t *testing.T) {
 	}
 	demands := make([]place.Demand, len(mix.VCs))
 	for v := range mix.VCs {
-		demands[v] = place.Demand{Size: res.VCSizes[v], Accessors: mix.VCs[v].Accessors}
+		demands[v] = place.NewDemand(res.VCSizes[v], mix.VCs[v].Accessors)
 	}
 	if err := res.Assignment.Validate(cfg.Chip, demands, 1); err != nil {
 		t.Fatalf("assignment invalid: %v", err)

@@ -142,8 +142,9 @@ func omnetDataHops(env policy.Env, mix *workload.Mix, res sim.MixResult) float64
 				continue
 			}
 			hops := 0.0
-			for _, b := range slices.Sorted(maps.Keys(core.Assignment[v])) {
-				hops += core.Assignment[v][b] / size * float64(env.Chip.Topo.Distance(res.Sched.ThreadCore[t], b))
+			av := &core.Assignment[v]
+			for _, b := range av.Banks() {
+				hops += av.Get(b) / size * float64(env.Chip.Topo.Distance(res.Sched.ThreadCore[t], b))
 			}
 			sum += hops
 			n++

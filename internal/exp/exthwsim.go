@@ -52,8 +52,9 @@ func runExtHWSim(opts Options) (*Report, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	for v := range mix.VCs {
 		alloc := map[int]float64{}
-		for b, lines := range res.Assignment[v] {
-			alloc[int(b)] = lines
+		av := &res.Assignment[v]
+		for _, b := range av.Banks() {
+			alloc[int(b)] = av.Get(b)
 		}
 		if len(alloc) == 0 {
 			// Zero-capacity VCs still need a home bank for lookups: the

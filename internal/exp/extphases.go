@@ -7,6 +7,7 @@ import (
 	"cdcs/internal/core"
 	"cdcs/internal/mesh"
 	"cdcs/internal/perfmodel"
+	"cdcs/internal/place"
 	"cdcs/internal/policy"
 	"cdcs/internal/sim"
 	"cdcs/internal/stats"
@@ -124,7 +125,7 @@ func evalSchedule(env policy.Env, mix *workload.Mix, res core.Result) float64 {
 		for _, v := range slices.Sorted(maps.Keys(th.Access)) {
 			size := res.VCSizes[v]
 			ratio := mix.VCs[v].MissRatio.Eval(size)
-			hops, memHops := resultHops(env, res.Assignment[v], size, corePos)
+			hops, memHops := resultHops(env, &res.Assignment[v], size, corePos)
 			in.Accesses = append(in.Accesses, perfmodel.VCAccess{
 				APKI: th.Access[v], MissRatio: ratio, AvgHops: hops, MemHops: memHops,
 			})
@@ -134,15 +135,16 @@ func evalSchedule(env policy.Env, mix *workload.Mix, res core.Result) float64 {
 	return perfmodel.Evaluate(env.Params, inputs).AggIPC
 }
 
-// resultHops mirrors the policy package's assignment-distance computation.
-func resultHops(env policy.Env, alloc map[mesh.Tile]float64, size float64, corePos mesh.Tile) (float64, float64) {
-	if size <= 0 || len(alloc) == 0 {
+// resultHops mirrors the policy package's assignment-distance computation:
+// the dense bank index iterates in ascending bank order, so the float sums
+// are reproducible without sorting.
+func resultHops(env policy.Env, alloc *place.BankAlloc, size float64, corePos mesh.Tile) (float64, float64) {
+	if size <= 0 || alloc.Len() == 0 {
 		return 0, env.Chip.Topo.AvgMemDistance(corePos)
 	}
 	var hops, memHops float64
-	// Bank order keeps the float sums reproducible (map order is random).
-	for _, b := range slices.Sorted(maps.Keys(alloc)) {
-		frac := alloc[b] / size
+	for _, b := range alloc.Banks() {
+		frac := alloc.Get(b) / size
 		hops += frac * float64(env.Chip.Topo.Distance(corePos, b))
 		memHops += frac * env.Chip.Topo.AvgMemDistance(b)
 	}

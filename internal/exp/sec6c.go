@@ -25,7 +25,7 @@ func init() {
 func cdcsDemands(mix *workload.Mix, s policy.Sched) []place.Demand {
 	d := make([]place.Demand, len(mix.VCs))
 	for v := range mix.VCs {
-		d[v] = place.Demand{Size: s.VCSizes[v], Accessors: mix.VCs[v].Accessors}
+		d[v] = place.NewDemand(s.VCSizes[v], mix.VCs[v].Accessors)
 	}
 	return d
 }

@@ -46,6 +46,13 @@ type Topology struct {
 	// avgMCDist[t] is the mean distance from tile t to the memory controllers.
 	avgMCDist []float64
 
+	// avgDist[t] is the mean distance from tile t to all tiles (the expected
+	// hop count from t to a uniformly hashed bank).
+	avgDist []float64
+
+	// meanMCDist is the mean of avgMCDist over all tiles.
+	meanMCDist float64
+
 	// meanPairDist is the mean distance between two uniformly random tiles
 	// (the expected hop count of an S-NUCA access).
 	meanPairDist float64
@@ -106,6 +113,23 @@ func New(width, height int) *Topology {
 		}
 		t.avgMCDist[a] = float64(sum) / float64(len(t.memControllers))
 	}
+
+	// Per-tile mean distances, accumulated in ascending tile order with the
+	// exact float operations the policy models previously performed inline,
+	// so hoisting them here changes no result bits.
+	t.avgDist = make([]float64, n)
+	for a := 0; a < n; a++ {
+		sum := 0.0
+		for b := 0; b < n; b++ {
+			sum += float64(t.distance[a][b])
+		}
+		t.avgDist[a] = sum / float64(n)
+	}
+	meanMC := 0.0
+	for a := 0; a < n; a++ {
+		meanMC += t.avgMCDist[a]
+	}
+	t.meanMCDist = meanMC / float64(n)
 
 	total := 0
 	for a := 0; a < n; a++ {
@@ -169,6 +193,25 @@ func (t *Topology) TileAt(x, y int) Tile {
 // Distance returns the X-Y routing hop count between two tiles.
 func (t *Topology) Distance(a, b Tile) int {
 	return t.distance[a][b]
+}
+
+// DistanceRow returns the hop counts from tile a to every tile, indexed by
+// tile id. The slice is shared; callers must not modify it. Hot placement
+// loops use it to hoist the row lookup out of per-bank iteration.
+func (t *Topology) DistanceRow(a Tile) []int {
+	return t.distance[a]
+}
+
+// MeanDistanceFrom returns the mean hop count from tile a to all tiles: the
+// expected distance to a uniformly hashed bank (S-NUCA's per-core distance).
+func (t *Topology) MeanDistanceFrom(a Tile) float64 {
+	return t.avgDist[a]
+}
+
+// MeanMemDistance returns the mean over all tiles of the average distance to
+// the memory controllers (the chip-wide expected LLC-to-memory distance).
+func (t *Topology) MeanMemDistance() float64 {
+	return t.meanMCDist
 }
 
 // ByDistance returns all tiles ordered by increasing distance from center

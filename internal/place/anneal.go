@@ -20,15 +20,16 @@ func AnnealThreads(chip Chip, demands []Demand, assign Assignment, threadCore []
 
 	// threadCost[t][c] = Eq. 2 contribution of thread t if placed on core c.
 	// Precomputing it makes each swap O(1) to evaluate.
-	vcFrac := make([]map[mesh.Tile]float64, len(demands))
+	vcFrac := make([][]float64, len(demands)) // dense per-bank fractions; nil for empty VCs
 	for v := range demands {
 		size := assign.Placed(v)
 		if size <= 0 {
 			continue
 		}
-		f := make(map[mesh.Tile]float64, len(assign[v]))
-		for b, lines := range assign[v] {
-			f[b] = lines / size
+		av := &assign[v]
+		f := make([]float64, nC)
+		for _, b := range av.Banks() {
+			f[b] = av.Get(b) / size
 		}
 		vcFrac[v] = f
 	}
@@ -36,16 +37,17 @@ func AnnealThreads(chip Chip, demands []Demand, assign Assignment, threadCore []
 	for t := 0; t < nT; t++ {
 		threadCost[t] = make([]float64, nC)
 	}
-	for v, d := range demands {
+	for v := range demands {
 		if vcFrac[v] == nil {
 			continue
 		}
-		banks := sortedBanks(vcFrac[v])
-		for _, t := range sortedAccessors(d.Accessors) {
+		d := &demands[v]
+		banks := assign[v].Banks()
+		for i, t := range d.Threads {
 			if t >= nT {
 				continue
 			}
-			rate := d.Accessors[t]
+			rate := d.Rates[i]
 			for c := 0; c < nC; c++ {
 				sum := 0.0
 				for _, b := range banks {

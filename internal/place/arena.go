@@ -1,0 +1,157 @@
+package place
+
+import (
+	"sort"
+
+	"cdcs/internal/mesh"
+)
+
+// Arena holds reusable scratch buffers for one placement pipeline (one
+// reconfiguration of one simulated cell). Threading one arena through
+// demand construction, OptimisticPlace, PlaceThreads, Greedy and Refine
+// makes the steady-state placement round allocation-free: every buffer is
+// grown once and reused on subsequent rounds.
+//
+// An Arena is not safe for concurrent use. Results produced through an
+// arena (assignments, claims, thread placements, distance rows, demands)
+// borrow its memory: they stay valid only until the arena's next placement
+// call, so callers that retain results across rounds must either copy what
+// they need or use the allocating wrappers (which hand each call a private
+// arena).
+type Arena struct {
+	// Demand backing (StartDemands / AppendDemand).
+	demands []Demand
+	accTh   []int
+	accRate []float64
+
+	// VCDistancesIn.
+	dist     [][]float64
+	distFlat []float64
+
+	// orderBySizeIn.
+	order []int
+
+	// OptimisticPlaceIn.
+	claimed []float64
+	centers []mesh.Tile
+	com     []Point
+	claims  Assignment
+
+	// GreedyIn.
+	free   []float64
+	gOrder []mesh.Tile
+	gCur   []int
+	gRem   []float64
+	assign Assignment
+
+	// RefineIn.
+	used       []float64
+	accPerLine []float64
+	residents  [][]int
+	desirables []desirable
+	tileW      []float64
+	pcTiles    []mesh.Tile
+
+	// PlaceThreadsIn.
+	infos    []threadInfo
+	coms     []comAcc
+	freeCore []bool
+	threads  []mesh.Tile
+}
+
+// NewArena returns an empty arena; buffers grow on first use.
+func NewArena() *Arena { return &Arena{} }
+
+// grow returns a zeroed slice of length n, reusing buf's capacity when it
+// suffices and recording the result back into *buf.
+func grow[T any](buf *[]T, n int) []T {
+	s := *buf
+	if cap(s) < n {
+		s = make([]T, n)
+	} else {
+		s = s[:n]
+		clear(s)
+	}
+	*buf = s
+	return s
+}
+
+// ensure returns a slice of length n without clearing reused contents (for
+// buffers whose users reset exactly the entries they touch).
+func ensure[T any](buf *[]T, n int) []T {
+	s := *buf
+	if cap(s) < n {
+		s = make([]T, n)
+	} else {
+		s = s[:n]
+	}
+	*buf = s
+	return s
+}
+
+// arenaAssignment returns a reset Assignment of n VCs over the given bank
+// count, reusing *buf's per-VC buffers.
+func arenaAssignment(buf *Assignment, n, banks int) Assignment {
+	a := *buf
+	if cap(a) < n {
+		na := make(Assignment, n)
+		copy(na, a[:cap(a)])
+		a = na
+	} else {
+		a = a[:n]
+	}
+	for i := range a {
+		a[i].init(banks)
+	}
+	*buf = a
+	return a
+}
+
+// growResidents returns n per-bank resident lists, each truncated to empty
+// while keeping its capacity.
+func growResidents(buf *[][]int, n int) [][]int {
+	s := *buf
+	if cap(s) < n {
+		ns := make([][]int, n)
+		copy(ns, s[:cap(s)])
+		s = ns
+	} else {
+		s = s[:n]
+	}
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	*buf = s
+	return s
+}
+
+// StartDemands prepares arena storage for n demands totalling totalAcc
+// accessor entries and returns the empty demand slice to AppendDemand into.
+func (a *Arena) StartDemands(n, totalAcc int) []Demand {
+	grow(&a.demands, n)
+	grow(&a.accTh, totalAcc)
+	grow(&a.accRate, totalAcc)
+	a.demands = a.demands[:0]
+	a.accTh = a.accTh[:0]
+	a.accRate = a.accRate[:0]
+	return a.demands
+}
+
+// AppendDemand appends a dense Demand built from an accessor map, reusing
+// the backing prepared by StartDemands (accessor ids are sorted here, once,
+// exactly as NewDemand does). Earlier demands stay valid even if the backing
+// grows: their slices keep aliasing the block they were written to.
+func (a *Arena) AppendDemand(ds []Demand, size float64, accessors map[int]float64) []Demand {
+	start := len(a.accTh)
+	for t := range accessors {
+		a.accTh = append(a.accTh, t)
+	}
+	seg := a.accTh[start:]
+	sort.Ints(seg)
+	for _, t := range seg {
+		a.accRate = append(a.accRate, accessors[t])
+	}
+	ds = append(ds, Demand{Size: size, Threads: seg, Rates: a.accRate[start:]})
+	a.demands = ds
+	return ds
+}

@@ -1,6 +1,7 @@
 package place
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -16,7 +17,7 @@ func benchInstance() (Chip, []Demand, []mesh.Tile) {
 	budget := chip.TotalLines()
 	for i := range demands {
 		size := rng.Float64() * budget / 48
-		demands[i] = Demand{Size: size, Accessors: map[int]float64{i: 5 + rng.Float64()*90}}
+		demands[i] = NewDemand(size, map[int]float64{i: 5 + rng.Float64()*90})
 	}
 	threads := RandomThreads(chip, 64, rng.Perm(64))
 	return chip, demands, threads
@@ -24,9 +25,11 @@ func benchInstance() (Chip, []Demand, []mesh.Tile) {
 
 func BenchmarkOptimisticPlace64(b *testing.B) {
 	chip, demands, _ := benchInstance()
+	ar := NewArena()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		OptimisticPlace(chip, demands)
+		OptimisticPlaceIn(ar, chip, demands)
 	}
 }
 
@@ -39,16 +42,18 @@ func benchInstance1024() (Chip, []Demand) {
 	budget := chip.TotalLines()
 	for i := range demands {
 		size := rng.Float64() * budget / 768
-		demands[i] = Demand{Size: size, Accessors: map[int]float64{i: 5 + rng.Float64()*90}}
+		demands[i] = NewDemand(size, map[int]float64{i: 5 + rng.Float64()*90})
 	}
 	return chip, demands
 }
 
 func BenchmarkOptimisticPlace1024(b *testing.B) {
 	chip, demands := benchInstance1024()
+	ar := NewArena()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		OptimisticPlace(chip, demands)
+		OptimisticPlaceIn(ar, chip, demands)
 	}
 }
 
@@ -58,12 +63,13 @@ func BenchmarkOptimisticPlace1024(b *testing.B) {
 func BenchmarkOptimisticPlace1024Exhaustive(b *testing.B) {
 	chip, demands := benchInstance1024()
 	claimed := make([]float64, chip.Banks())
+	ar := NewArena()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for b := range claimed {
 			claimed[b] = 0
 		}
-		for _, v := range orderBySize(demands) {
+		for _, v := range orderBySizeIn(ar, demands) {
 			exhaustiveBestCenter(chip, claimed, demands[v].Size)
 		}
 	}
@@ -71,30 +77,36 @@ func BenchmarkOptimisticPlace1024Exhaustive(b *testing.B) {
 
 func BenchmarkGreedy64(b *testing.B) {
 	chip, demands, threads := benchInstance()
+	ar := NewArena()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Greedy(chip, demands, threads, 1024)
+		GreedyIn(ar, chip, demands, threads, 1024)
 	}
 }
 
 func BenchmarkRefine64(b *testing.B) {
 	chip, demands, threads := benchInstance()
 	base := Greedy(chip, demands, threads, 1024)
+	ar := NewArena()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		a := base.Clone()
 		b.StartTimer()
-		Refine(chip, demands, a, threads)
+		RefineIn(ar, chip, demands, a, threads)
 	}
 }
 
 func BenchmarkPlaceThreads64(b *testing.B) {
 	chip, demands, _ := benchInstance()
 	opt := OptimisticPlace(chip, demands)
+	ar := NewArena()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		PlaceThreads(chip, demands, opt, 64)
+		PlaceThreadsIn(ar, chip, demands, opt, 64)
 	}
 }
 
@@ -103,11 +115,49 @@ func BenchmarkOptimalTransport16(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	demands := make([]Demand, 16)
 	for i := range demands {
-		demands[i] = Demand{Size: float64(1+rng.Intn(4)) * 8192, Accessors: map[int]float64{i: 50}}
+		demands[i] = NewDemand(float64(1+rng.Intn(4))*8192, map[int]float64{i: 50})
 	}
 	threads := RandomThreads(chip, 16, rng.Perm(64))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		OptimalTransport(chip, demands, threads, 1024)
+	}
+}
+
+// pipelineInstance builds a fully-committed w×h placement problem: one VC
+// per tile, sized so total demand fills ~2/3 of the chip.
+func pipelineInstance(w, h int) (Chip, []Demand, []mesh.Tile) {
+	chip := Chip{Topo: mesh.New(w, h), BankLines: 8192}
+	n := chip.Banks()
+	rng := rand.New(rand.NewSource(7))
+	demands := make([]Demand, n)
+	budget := chip.TotalLines()
+	for i := range demands {
+		size := rng.Float64() * budget / float64(n) * 4 / 3
+		demands[i] = NewDemand(size, map[int]float64{i: 5 + rng.Float64()*90})
+	}
+	threads := RandomThreads(chip, n, rng.Perm(n))
+	return chip, demands, threads
+}
+
+// BenchmarkPlacePipeline runs the full steps-2-4 pipeline (optimistic VC
+// placement, thread placement, greedy data placement, one refine pass) on
+// one reused arena, at the paper's 8×8 scale and at the 24×24 and 32×32
+// scaling points. allocs/op is the headline number: after warm-up the
+// pipeline must not allocate.
+func BenchmarkPlacePipeline(b *testing.B) {
+	for _, dims := range [][2]int{{8, 8}, {24, 24}, {32, 32}} {
+		b.Run(fmt.Sprintf("%dx%d", dims[0], dims[1]), func(b *testing.B) {
+			chip, demands, _ := pipelineInstance(dims[0], dims[1])
+			ar := NewArena()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opt := OptimisticPlaceIn(ar, chip, demands)
+				threads := PlaceThreadsIn(ar, chip, demands, opt, len(demands))
+				assign := GreedyIn(ar, chip, demands, threads, chip.BankLines/8)
+				RefineIn(ar, chip, demands, assign, threads)
+			}
+		})
 	}
 }

@@ -19,20 +19,22 @@ func GraphPartition(chip Chip, demands []Demand, nThreads int) []mesh.Tile {
 	for i := range aff {
 		aff[i] = make([]float64, nThreads)
 	}
-	for _, d := range demands {
-		if len(d.Accessors) < 2 {
+	for di := range demands {
+		d := &demands[di]
+		if len(d.Threads) < 2 {
 			continue
 		}
 		total := d.TotalRate()
 		if total <= 0 {
 			continue
 		}
-		for t1, r1 := range d.Accessors {
-			for t2, r2 := range d.Accessors {
+		for i, t1 := range d.Threads {
+			r1 := d.Rates[i]
+			for j, t2 := range d.Threads {
 				if t1 >= nThreads || t2 >= nThreads || t1 >= t2 {
 					continue
 				}
-				w := r1 * r2 / total
+				w := r1 * d.Rates[j] / total
 				aff[t1][t2] += w
 				aff[t2][t1] += w
 			}

@@ -1,7 +1,7 @@
 package place
 
 import (
-	"sort"
+	"slices"
 
 	"cdcs/internal/mesh"
 )
@@ -12,74 +12,81 @@ import (
 // has room. Real capacity constraints are enforced. Returns the assignment;
 // all demand is always placed as long as total demand fits on the chip.
 func Greedy(chip Chip, demands []Demand, threadCore []mesh.Tile, chunk float64) Assignment {
+	return GreedyIn(NewArena(), chip, demands, threadCore, chunk)
+}
+
+// GreedyIn is Greedy with scratch (and the returned assignment's backing)
+// taken from ar.
+func GreedyIn(ar *Arena, chip Chip, demands []Demand, threadCore []mesh.Tile, chunk float64) Assignment {
 	if chunk <= 0 {
 		chunk = chip.BankLines / 16
 	}
-	dist := VCDistances(chip, demands, threadCore)
-	assign := NewAssignment(len(demands))
-	free := make([]float64, chip.Banks())
+	dist := VCDistancesIn(ar, chip, demands, threadCore)
+	nb := chip.Banks()
+	assign := arenaAssignment(&ar.assign, len(demands), nb)
+	free := grow(&ar.free, nb)
 	for i := range free {
 		free[i] = chip.BankLines
 	}
 
-	// Per-VC bank preference order and a cursor over it.
-	type state struct {
-		order     []mesh.Tile
-		cursor    int
-		remaining float64
-	}
-	states := make([]state, len(demands))
+	// Per-VC bank preference order and a cursor over it, in flat arena
+	// buffers.
+	orderFlat := grow(&ar.gOrder, len(demands)*nb)
+	cursor := grow(&ar.gCur, len(demands))
+	remaining := grow(&ar.gRem, len(demands))
 	active := 0
 	for v := range demands {
-		states[v].remaining = demands[v].Size
+		remaining[v] = demands[v].Size
 		if demands[v].Size > 0 {
 			active++
 		}
-		order := make([]mesh.Tile, chip.Banks())
+		order := orderFlat[v*nb : (v+1)*nb]
 		for b := range order {
 			order[b] = mesh.Tile(b)
 		}
 		d := dist[v]
-		sort.SliceStable(order, func(i, j int) bool {
-			if d[order[i]] != d[order[j]] {
-				return d[order[i]] < d[order[j]]
+		slices.SortStableFunc(order, func(x, y mesh.Tile) int {
+			if d[x] != d[y] {
+				if d[x] < d[y] {
+					return -1
+				}
+				return 1
 			}
-			return order[i] < order[j]
+			return int(x) - int(y)
 		})
-		states[v].order = order
 	}
 
 	for active > 0 {
 		progressed := false
 		for v := range demands {
-			st := &states[v]
-			if st.remaining <= 1e-9 {
+			if remaining[v] <= 1e-9 {
 				continue
 			}
+			order := orderFlat[v*nb : (v+1)*nb]
 			// Advance to a bank with free space.
-			for st.cursor < len(st.order) && free[st.order[st.cursor]] <= 1e-9 {
-				st.cursor++
+			for cursor[v] < len(order) && free[order[cursor[v]]] <= 1e-9 {
+				cursor[v]++
 			}
-			if st.cursor >= len(st.order) {
+			if cursor[v] >= len(order) {
 				// Chip full: drop the rest of this VC's demand (can only
 				// happen when total demand exceeds capacity).
-				st.remaining = 0
+				remaining[v] = 0
 				active--
 				continue
 			}
-			b := st.order[st.cursor]
+			b := order[cursor[v]]
 			take := chunk
-			if take > st.remaining {
-				take = st.remaining
+			if take > remaining[v] {
+				take = remaining[v]
 			}
 			if take > free[b] {
 				take = free[b]
 			}
-			assign[v][b] += take
+			assign[v].Add(b, take)
 			free[b] -= take
-			st.remaining -= take
+			remaining[v] -= take
 			progressed = true
-			if st.remaining <= 1e-9 {
+			if remaining[v] <= 1e-9 {
 				active--
 			}
 		}

@@ -58,13 +58,13 @@ func OptimalTransport(chip Chip, demands []Demand, threadCore []mesh.Tile, chunk
 
 	g.minCostMaxFlow(src, sink)
 
-	assign := NewAssignment(nV)
+	assign := NewAssignment(nV, nB)
 	for v := 0; v < nV; v++ {
 		for _, eid := range g.adj[1+v] {
 			e := &g.edges[eid]
 			if e.to >= 1+nV && e.to < 1+nV+nB && e.flow > 0 {
 				bank := mesh.Tile(e.to - 1 - nV)
-				assign[v][bank] += float64(e.flow) * chunk
+				assign[v].Add(bank, float64(e.flow)*chunk)
 			}
 		}
 	}

@@ -10,7 +10,7 @@ import (
 type Optimistic struct {
 	// Center[v] is the tile around which VC v was compacted.
 	Center []mesh.Tile
-	// Claims[v] maps banks to the lines VC v claimed there.
+	// Claims[v] holds the lines VC v claimed per bank.
 	Claims Assignment
 	// CoM[v] is the fractional center of mass of VC v's claims.
 	CoM []Point
@@ -30,22 +30,28 @@ type Point struct{ X, Y float64 }
 // pruned two-level scan (see prune.go); at or below it, every tile is
 // evaluated exactly as in the paper.
 func OptimisticPlace(chip Chip, demands []Demand) Optimistic {
+	return OptimisticPlaceIn(NewArena(), chip, demands)
+}
+
+// OptimisticPlaceIn is OptimisticPlace with scratch (and the returned
+// placement's backing) taken from ar.
+func OptimisticPlaceIn(ar *Arena, chip Chip, demands []Demand) Optimistic {
 	n := chip.Banks()
 	out := Optimistic{
-		Center: make([]mesh.Tile, len(demands)),
-		Claims: NewAssignment(len(demands)),
-		CoM:    make([]Point, len(demands)),
+		Center: grow(&ar.centers, len(demands)),
+		Claims: arenaAssignment(&ar.claims, len(demands), n),
+		CoM:    grow(&ar.com, len(demands)),
 	}
 	center := chip.Topo.CenterTile()
+	cx, cy := chip.Topo.Coords(center)
 	for v := range out.Center {
 		out.Center[v] = center // zero-size VCs default to the chip center
-		cx, cy := chip.Topo.Coords(center)
 		out.CoM[v] = Point{float64(cx), float64(cy)}
 	}
 
-	claimed := make([]float64, n) // relaxed per-bank claim tally, in lines
+	claimed := grow(&ar.claimed, n) // relaxed per-bank claim tally, in lines
 
-	for _, v := range orderBySize(demands) {
+	for _, v := range orderBySizeIn(ar, demands) {
 		size := demands[v].Size
 		best := bestCenter(chip, claimed, size)
 		out.Center[v] = best
@@ -57,14 +63,14 @@ func OptimisticPlace(chip Chip, demands []Demand) Optimistic {
 			if take > remaining {
 				take = remaining
 			}
-			out.Claims[v][b] = take
+			out.Claims[v].Set(b, take)
 			claimed[b] += take
 			remaining -= take
 			if remaining <= 1e-9 {
 				break
 			}
 		}
-		x, y := CenterOfMass(chip, out.Claims[v])
+		x, y := CenterOfMass(chip, &out.Claims[v])
 		out.CoM[v] = Point{x, y}
 	}
 	return out

@@ -4,29 +4,23 @@
 // placement and the bounded-spiral trading pass (§IV-F), plus the expensive
 // comparators evaluated in §VI-C (exact transportation solve standing in for
 // ILP, simulated annealing, and recursive-bisection graph partitioning).
+//
+// Representation: bank ids are dense (0..Banks()-1), so allocations are kept
+// as flat per-bank arrays with a sorted sparse index for iteration
+// (BankAlloc). Every order-sensitive floating-point reduction walks banks in
+// ascending id order and accessor threads in ascending thread-id order —
+// deterministic by construction, with no sorting on any read path. The
+// previous map-based representation paid for the same determinism by sorting
+// map keys on every reduction.
 package place
 
 import (
 	"fmt"
-	"maps"
 	"slices"
 	"sort"
 
 	"cdcs/internal/mesh"
 )
-
-// sortedBanks returns an allocation map's bank keys in ascending order.
-// Placement sums floating-point contributions across banks and threads;
-// iterating maps directly would make results depend on Go's randomized map
-// order, so every order-sensitive reduction walks keys sorted.
-func sortedBanks(m map[mesh.Tile]float64) []mesh.Tile {
-	return slices.Sorted(maps.Keys(m))
-}
-
-// sortedAccessors returns a demand's accessor thread ids in ascending order.
-func sortedAccessors(m map[int]float64) []int {
-	return slices.Sorted(maps.Keys(m))
-}
 
 // Chip is the placement substrate: a mesh of tiles, each with one core and
 // one LLC bank of BankLines lines.
@@ -41,33 +35,131 @@ func (c Chip) Banks() int { return c.Topo.Tiles() }
 // TotalLines returns chip-wide LLC capacity in lines.
 func (c Chip) TotalLines() float64 { return float64(c.Banks()) * c.BankLines }
 
-// Demand describes one VC to the placement algorithms.
+// Demand describes one VC to the placement algorithms. Accessors are stored
+// densely, sorted by thread id at construction, so reductions over them are
+// linear walks with no per-call sorting or allocation.
 type Demand struct {
 	// Size is the VC's capacity allocation in lines (from internal/alloc).
 	Size float64
-	// Accessors maps thread index to that thread's access rate into this VC
-	// (any consistent unit; APKI throughout this repo).
-	Accessors map[int]float64
+	// Threads lists the accessor thread ids in ascending order.
+	Threads []int
+	// Rates[i] is Threads[i]'s access rate into this VC (any consistent
+	// unit; APKI throughout this repo).
+	Rates []float64
+}
+
+// NewDemand builds a Demand from an accessor-rate map, sorting the accessor
+// ids once up front (the map is not retained).
+func NewDemand(size float64, accessors map[int]float64) Demand {
+	ths := make([]int, 0, len(accessors))
+	for t := range accessors {
+		ths = append(ths, t)
+	}
+	sort.Ints(ths)
+	rates := make([]float64, len(ths))
+	for i, t := range ths {
+		rates[i] = accessors[t]
+	}
+	return Demand{Size: size, Threads: ths, Rates: rates}
 }
 
 // TotalRate sums accessor rates (in thread-id order, for bit-reproducible
-// results).
+// results) without allocating.
 func (d Demand) TotalRate() float64 {
 	s := 0.0
-	for _, t := range sortedAccessors(d.Accessors) {
-		s += d.Accessors[t]
+	for _, r := range d.Rates {
+		s += r
 	}
 	return s
 }
 
-// Assignment is a data placement: per VC, lines claimed in each bank.
-type Assignment []map[mesh.Tile]float64
+// BankAlloc is one VC's per-bank allocation: lines indexed directly by bank
+// id, plus a sorted sparse index of the banks ever written. Iteration over
+// Banks() is a linear walk in ascending bank order.
+//
+// A touched bank stays in the index even when arithmetic drives its lines
+// back to exactly zero, mirroring the key semantics of the map
+// representation this replaced (trade passes leave zero-line entries
+// behind); reductions are unaffected because zero entries contribute
+// exactly 0.0 to every sum.
+type BankAlloc struct {
+	lines   []float64   // lines per bank, indexed by bank id
+	touched []bool      // whether the bank is in the sparse index
+	banks   []mesh.Tile // touched banks in ascending id order
+}
 
-// NewAssignment allocates an empty assignment for n VCs.
-func NewAssignment(n int) Assignment {
+// init prepares the alloc for the given bank count, clearing any previous
+// contents while reusing capacity.
+func (a *BankAlloc) init(banks int) {
+	for _, b := range a.banks {
+		a.lines[b] = 0
+		a.touched[b] = false
+	}
+	a.banks = a.banks[:0]
+	if cap(a.lines) < banks {
+		a.lines = make([]float64, banks)
+		a.touched = make([]bool, banks)
+		a.banks = make([]mesh.Tile, 0, 8)
+		return
+	}
+	a.lines = a.lines[:banks]
+	a.touched = a.touched[:banks]
+}
+
+// Get returns the lines held in bank b (zero when the bank was never
+// written).
+func (a *BankAlloc) Get(b mesh.Tile) float64 { return a.lines[b] }
+
+// touch inserts b into the sorted sparse index if absent.
+func (a *BankAlloc) touch(b mesh.Tile) {
+	if a.touched[b] {
+		return
+	}
+	a.touched[b] = true
+	i, _ := slices.BinarySearch(a.banks, b)
+	a.banks = append(a.banks, 0)
+	copy(a.banks[i+1:], a.banks[i:])
+	a.banks[i] = b
+}
+
+// Add adds delta lines to bank b (negative deltas remove capacity). The bank
+// stays in the iteration index even if its lines reach zero.
+func (a *BankAlloc) Add(b mesh.Tile, delta float64) {
+	a.touch(b)
+	a.lines[b] += delta
+}
+
+// Set sets bank b's lines.
+func (a *BankAlloc) Set(b mesh.Tile, v float64) {
+	a.touch(b)
+	a.lines[b] = v
+}
+
+// Banks returns the touched banks in ascending id order. The slice is shared
+// with the BankAlloc; callers must not modify it.
+func (a *BankAlloc) Banks() []mesh.Tile { return a.banks }
+
+// Len returns the number of touched banks.
+func (a *BankAlloc) Len() int { return len(a.banks) }
+
+// clone returns an independent deep copy.
+func (a *BankAlloc) clone() BankAlloc {
+	return BankAlloc{
+		lines:   append([]float64(nil), a.lines...),
+		touched: append([]bool(nil), a.touched...),
+		banks:   append([]mesh.Tile(nil), a.banks...),
+	}
+}
+
+// Assignment is a data placement: per VC, lines claimed in each bank.
+type Assignment []BankAlloc
+
+// NewAssignment allocates an empty assignment for n VCs over the given
+// number of banks.
+func NewAssignment(n, banks int) Assignment {
 	a := make(Assignment, n)
 	for i := range a {
-		a[i] = map[mesh.Tile]float64{}
+		a[i].init(banks)
 	}
 	return a
 }
@@ -75,19 +167,26 @@ func NewAssignment(n int) Assignment {
 // Placed returns the total lines VC v has placed (summed in bank order, for
 // bit-reproducible results).
 func (a Assignment) Placed(v int) float64 {
+	al := &a[v]
 	s := 0.0
-	for _, b := range sortedBanks(a[v]) {
-		s += a[v][b]
+	for _, b := range al.banks {
+		s += al.lines[b]
 	}
 	return s
 }
 
 // BankUsage returns per-bank occupied lines across all VCs.
 func (a Assignment) BankUsage(banks int) []float64 {
-	use := make([]float64, banks)
-	for _, m := range a {
-		for b, lines := range m {
-			use[b] += lines
+	return a.BankUsageInto(make([]float64, banks))
+}
+
+// BankUsageInto accumulates per-bank occupied lines into use (which must be
+// zeroed and sized to the bank count) and returns it.
+func (a Assignment) BankUsageInto(use []float64) []float64 {
+	for v := range a {
+		al := &a[v]
+		for _, b := range al.banks {
+			use[b] += al.lines[b]
 		}
 	}
 	return use
@@ -96,11 +195,8 @@ func (a Assignment) BankUsage(banks int) []float64 {
 // Clone deep-copies the assignment.
 func (a Assignment) Clone() Assignment {
 	out := make(Assignment, len(a))
-	for i, m := range a {
-		out[i] = make(map[mesh.Tile]float64, len(m))
-		for b, l := range m {
-			out[i][b] = l
-		}
+	for i := range a {
+		out[i] = a[i].clone()
 	}
 	return out
 }
@@ -118,8 +214,9 @@ func (a Assignment) Validate(chip Chip, demands []Demand, tol float64) error {
 		}
 	}
 	for v := range a {
-		for b, l := range a[v] {
-			if l < -tol {
+		al := &a[v]
+		for _, b := range al.banks {
+			if l := al.lines[b]; l < -tol {
 				return fmt.Errorf("place: VC %d negative allocation %g in bank %d", v, l, b)
 			}
 			if int(b) < 0 || int(b) >= chip.Banks() {
@@ -137,27 +234,42 @@ func (a Assignment) Validate(chip Chip, demands []Demand, tol float64) error {
 // the VC's accessor threads to each bank (the distance the trade pass and
 // Eq. 2 use). VCs with no accessors measure from the chip center.
 func VCDistances(chip Chip, demands []Demand, threadCore []mesh.Tile) [][]float64 {
+	return VCDistancesIn(NewArena(), chip, demands, threadCore)
+}
+
+// VCDistancesIn is VCDistances with scratch from ar; the rows are valid only
+// until the arena's next placement call.
+func VCDistancesIn(ar *Arena, chip Chip, demands []Demand, threadCore []mesh.Tile) [][]float64 {
 	n := chip.Banks()
-	out := make([][]float64, len(demands))
-	center := chip.Topo.CenterTile()
-	for v, d := range demands {
-		row := make([]float64, n)
+	flat := grow(&ar.distFlat, len(demands)*n)
+	rows := grow(&ar.dist, len(demands))
+	centerRow := chip.Topo.DistanceRow(chip.Topo.CenterTile())
+	for v := range demands {
+		d := &demands[v]
+		row := flat[v*n : (v+1)*n : (v+1)*n]
+		rows[v] = row
 		total := d.TotalRate()
-		accessors := sortedAccessors(d.Accessors)
-		for b := 0; b < n; b++ {
-			if total == 0 {
-				row[b] = float64(chip.Topo.Distance(center, mesh.Tile(b)))
-				continue
+		if total == 0 {
+			for b := 0; b < n; b++ {
+				row[b] = float64(centerRow[b])
 			}
-			sum := 0.0
-			for _, t := range accessors {
-				sum += d.Accessors[t] * float64(chip.Topo.Distance(threadCore[t], mesh.Tile(b)))
-			}
-			row[b] = sum / total
+			continue
 		}
-		out[v] = row
+		// Accumulate per bank in ascending accessor order (t outer keeps the
+		// per-slot addition order identical to the per-bank inner loop the
+		// map representation used, while letting the distance row hoist out).
+		for i, t := range d.Threads {
+			rate := d.Rates[i]
+			tr := chip.Topo.DistanceRow(threadCore[t])
+			for b := 0; b < n; b++ {
+				row[b] += rate * float64(tr[b])
+			}
+		}
+		for b := 0; b < n; b++ {
+			row[b] /= total
+		}
 	}
-	return out
+	return rows
 }
 
 // OnChipLatency evaluates Eq. 2 in access·hops: for every thread and bank,
@@ -165,16 +277,18 @@ func VCDistances(chip Chip, demands []Demand, threadCore []mesh.Tile) [][]float6
 // the thread-to-bank distance. Scale by hop latency externally.
 func OnChipLatency(chip Chip, demands []Demand, assign Assignment, threadCore []mesh.Tile) float64 {
 	total := 0.0
-	for v, d := range demands {
+	for v := range demands {
+		d := &demands[v]
 		size := assign.Placed(v)
 		if size <= 0 {
 			continue
 		}
-		accessors := sortedAccessors(d.Accessors)
-		for _, b := range sortedBanks(assign[v]) {
-			frac := assign[v][b] / size
-			for _, t := range accessors {
-				total += d.Accessors[t] * frac * float64(chip.Topo.Distance(threadCore[t], b))
+		av := &assign[v]
+		for _, b := range av.banks {
+			frac := av.lines[b] / size
+			row := chip.Topo.DistanceRow(b)
+			for i, t := range d.Threads {
+				total += d.Rates[i] * frac * float64(row[threadCore[t]])
 			}
 		}
 	}
@@ -182,29 +296,43 @@ func OnChipLatency(chip Chip, demands []Demand, assign Assignment, threadCore []
 }
 
 // CenterOfMass returns the fractional-coordinate center of mass of a VC's
-// placed capacity (chip center when nothing is placed).
-func CenterOfMass(chip Chip, alloc map[mesh.Tile]float64) (x, y float64) {
-	w := make(map[mesh.Tile]float64, len(alloc))
-	for b, l := range alloc {
-		w[b] = l
+// placed capacity (chip center when nothing is placed), accumulating in
+// ascending bank order without allocating.
+func CenterOfMass(chip Chip, alloc *BankAlloc) (x, y float64) {
+	var wx, wy, wsum float64
+	for _, b := range alloc.banks {
+		w := alloc.lines[b]
+		tx, ty := chip.Topo.Coords(b)
+		wx += w * float64(tx)
+		wy += w * float64(ty)
+		wsum += w
 	}
-	return chip.Topo.CenterOfMass(w)
+	if wsum == 0 {
+		cx, cy := chip.Topo.Coords(chip.Topo.CenterTile())
+		return float64(cx), float64(cy)
+	}
+	return wx / wsum, wy / wsum
 }
 
-// orderBySize returns VC indices sorted by descending demand size with
-// deterministic index tie-break, skipping zero-size VCs.
-func orderBySize(demands []Demand) []int {
-	idx := make([]int, 0, len(demands))
-	for i, d := range demands {
-		if d.Size > 0 {
+// orderBySizeIn returns VC indices sorted by descending demand size with
+// deterministic index tie-break, skipping zero-size VCs. The slice is arena
+// scratch.
+func orderBySizeIn(ar *Arena, demands []Demand) []int {
+	idx := grow(&ar.order, len(demands))[:0]
+	for i := range demands {
+		if demands[i].Size > 0 {
 			idx = append(idx, i)
 		}
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		if demands[idx[a]].Size != demands[idx[b]].Size {
-			return demands[idx[a]].Size > demands[idx[b]].Size
+	slices.SortFunc(idx, func(a, b int) int {
+		if demands[a].Size != demands[b].Size {
+			if demands[a].Size > demands[b].Size {
+				return -1
+			}
+			return 1
 		}
-		return idx[a] < idx[b]
+		return a - b
 	})
+	ar.order = idx
 	return idx
 }

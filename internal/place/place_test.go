@@ -23,16 +23,28 @@ func chip64() Chip {
 func singleThreadDemands(sizes, rates []float64) []Demand {
 	out := make([]Demand, len(sizes))
 	for i := range sizes {
-		out[i] = Demand{Size: sizes[i], Accessors: map[int]float64{i: rates[i]}}
+		out[i] = NewDemand(sizes[i], map[int]float64{i: rates[i]})
 	}
 	return out
 }
 
+// assignmentOf builds an Assignment over the given bank count from per-VC
+// bank→lines maps (test convenience mirroring the old map literals).
+func assignmentOf(banks int, vcs ...map[mesh.Tile]float64) Assignment {
+	a := NewAssignment(len(vcs), banks)
+	for v, m := range vcs {
+		for b, lines := range m {
+			a[v].Set(b, lines)
+		}
+	}
+	return a
+}
+
 func TestAssignmentBasics(t *testing.T) {
-	a := NewAssignment(2)
-	a[0][3] = 100
-	a[0][4] = 50
-	a[1][3] = 25
+	a := NewAssignment(2, 8)
+	a[0].Add(3, 100)
+	a[0].Add(4, 50)
+	a[1].Add(3, 25)
 	if got := a.Placed(0); got != 150 {
 		t.Errorf("Placed(0)=%g", got)
 	}
@@ -41,30 +53,56 @@ func TestAssignmentBasics(t *testing.T) {
 		t.Errorf("BankUsage=%v", use)
 	}
 	c := a.Clone()
-	c[0][3] = 1
-	if a[0][3] != 100 {
+	c[0].Set(3, 1)
+	if a[0].Get(3) != 100 {
 		t.Error("Clone is shallow")
+	}
+}
+
+func TestBankAllocIndexSorted(t *testing.T) {
+	var a BankAlloc
+	a.init(16)
+	for _, b := range []mesh.Tile{9, 2, 14, 2, 0, 7} {
+		a.Add(b, 1)
+	}
+	want := []mesh.Tile{0, 2, 7, 9, 14}
+	got := a.Banks()
+	if len(got) != len(want) {
+		t.Fatalf("Banks()=%v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Banks()=%v, want %v", got, want)
+		}
+	}
+	if a.Get(2) != 2 {
+		t.Errorf("Get(2)=%g, want 2 (two Adds)", a.Get(2))
+	}
+	// Driving an entry to zero keeps it in the index (map-key semantics).
+	a.Add(7, -1)
+	if a.Get(7) != 0 || a.Len() != 5 {
+		t.Errorf("zeroed entry dropped: Get(7)=%g Len=%d", a.Get(7), a.Len())
 	}
 }
 
 func TestAssignmentValidate(t *testing.T) {
 	chip := chip36()
 	d := singleThreadDemands([]float64{100}, []float64{10})
-	a := NewAssignment(1)
-	a[0][0] = 100
+	a := NewAssignment(1, chip.Banks())
+	a[0].Set(0, 100)
 	if err := a.Validate(chip, d, 1); err != nil {
 		t.Errorf("valid assignment rejected: %v", err)
 	}
 	// Over-capacity bank.
-	b := NewAssignment(1)
-	b[0][0] = chip.BankLines + 100
+	b := NewAssignment(1, chip.Banks())
+	b[0].Set(0, chip.BankLines+100)
 	db := singleThreadDemands([]float64{chip.BankLines + 100}, []float64{10})
 	if err := b.Validate(chip, db, 1); err == nil {
 		t.Error("over-capacity assignment accepted")
 	}
 	// Wrong size.
-	cAssign := NewAssignment(1)
-	cAssign[0][0] = 50
+	cAssign := NewAssignment(1, chip.Banks())
+	cAssign[0].Set(0, 50)
 	if err := cAssign.Validate(chip, d, 1); err == nil {
 		t.Error("short assignment accepted")
 	}
@@ -73,9 +111,9 @@ func TestAssignmentValidate(t *testing.T) {
 func TestVCDistances(t *testing.T) {
 	chip := chip36()
 	d := []Demand{
-		{Size: 100, Accessors: map[int]float64{0: 10}},
-		{Size: 100, Accessors: map[int]float64{0: 10, 1: 10}},
-		{Size: 100, Accessors: map[int]float64{}}, // no accessors
+		NewDemand(100, map[int]float64{0: 10}),
+		NewDemand(100, map[int]float64{0: 10, 1: 10}),
+		NewDemand(100, map[int]float64{}), // no accessors
 	}
 	threads := []mesh.Tile{0, 5} // corners of the top row
 	dist := VCDistances(chip, d, threads)
@@ -99,10 +137,10 @@ func TestOnChipLatencyHandComputed(t *testing.T) {
 	chip := chip36()
 	// One VC split 75/25 across banks 0 and 5, accessed by thread 0 at tile 0
 	// with rate 10: latency = 10×(0.75×0 + 0.25×5) = 12.5 access-hops.
-	d := []Demand{{Size: 100, Accessors: map[int]float64{0: 10}}}
-	a := NewAssignment(1)
-	a[0][0] = 75
-	a[0][5] = 25
+	d := []Demand{NewDemand(100, map[int]float64{0: 10})}
+	a := NewAssignment(1, chip.Banks())
+	a[0].Set(0, 75)
+	a[0].Set(5, 25)
 	got := OnChipLatency(chip, d, a, []mesh.Tile{0})
 	if !approxEq(got, 12.5, 1e-9) {
 		t.Errorf("OnChipLatency=%g, want 12.5", got)
@@ -121,7 +159,8 @@ func TestOptimisticPlaceSingleVC(t *testing.T) {
 	if got := opt.Claims.Placed(0); !approxEq(got, 3*8192, 1e-6) {
 		t.Errorf("claimed %g lines", got)
 	}
-	for b, lines := range opt.Claims[0] {
+	for _, b := range opt.Claims[0].Banks() {
+		lines := opt.Claims[0].Get(b)
 		if lines > chip.BankLines+1e-9 {
 			t.Errorf("bank %d claim %g exceeds bank size", b, lines)
 		}
@@ -193,12 +232,12 @@ func TestPlaceThreadsNearData(t *testing.T) {
 	// Two threads, VC data pinned at opposite corners: each thread lands on
 	// its data's corner.
 	d := []Demand{
-		{Size: 8192, Accessors: map[int]float64{0: 50}},
-		{Size: 8192, Accessors: map[int]float64{1: 50}},
+		NewDemand(8192, map[int]float64{0: 50}),
+		NewDemand(8192, map[int]float64{1: 50}),
 	}
 	opt := Optimistic{
 		Center: []mesh.Tile{0, 35},
-		Claims: Assignment{{0: 8192}, {35: 8192}},
+		Claims: assignmentOf(36, map[mesh.Tile]float64{0: 8192}, map[mesh.Tile]float64{35: 8192}),
 		CoM:    []Point{{0, 0}, {5, 5}},
 	}
 	cores := PlaceThreads(chip, d, opt, 2)
@@ -236,14 +275,16 @@ func TestPlaceThreadsPriorityOrder(t *testing.T) {
 	// Both threads want the same spot; the one with higher intensity×capacity
 	// gets it.
 	d := []Demand{
-		{Size: 4 * 8192, Accessors: map[int]float64{0: 90}}, // heavy
-		{Size: 1024, Accessors: map[int]float64{1: 5}},      // light
+		NewDemand(4*8192, map[int]float64{0: 90}), // heavy
+		NewDemand(1024, map[int]float64{1: 5}),    // light
 	}
 	com := Point{2, 2}
 	opt := Optimistic{
 		Center: []mesh.Tile{chip.Topo.TileAt(2, 2), chip.Topo.TileAt(2, 2)},
-		Claims: Assignment{{chip.Topo.TileAt(2, 2): 4 * 8192}, {chip.Topo.TileAt(2, 2): 1024}},
-		CoM:    []Point{com, com},
+		Claims: assignmentOf(36,
+			map[mesh.Tile]float64{chip.Topo.TileAt(2, 2): 4 * 8192},
+			map[mesh.Tile]float64{chip.Topo.TileAt(2, 2): 1024}),
+		CoM: []Point{com, com},
 	}
 	cores := PlaceThreads(chip, d, opt, 2)
 	if cores[0] != chip.Topo.TileAt(2, 2) {
@@ -301,10 +342,10 @@ func TestGreedyPrefersLocalBank(t *testing.T) {
 	chip := chip36()
 	// A small VC accessed by a thread at tile 7 should land entirely in
 	// bank 7 when the chip is otherwise empty.
-	d := []Demand{{Size: 2048, Accessors: map[int]float64{0: 50}}}
+	d := []Demand{NewDemand(2048, map[int]float64{0: 50})}
 	a := Greedy(chip, d, []mesh.Tile{7}, 512)
-	if got := a[0][7]; !approxEq(got, 2048, 1e-9) {
-		t.Errorf("local bank got %g of 2048 lines: %v", got, a[0])
+	if got := a[0].Get(7); !approxEq(got, 2048, 1e-9) {
+		t.Errorf("local bank got %g of 2048 lines in banks %v", got, a[0].Banks())
 	}
 }
 
@@ -313,8 +354,8 @@ func TestGreedyContentionPushesDataOut(t *testing.T) {
 	// Two adjacent threads each demanding 3 banks: their data cannot all be
 	// local; total placed must still match and capacity hold.
 	d := []Demand{
-		{Size: 3 * 8192, Accessors: map[int]float64{0: 90}},
-		{Size: 3 * 8192, Accessors: map[int]float64{1: 90}},
+		NewDemand(3*8192, map[int]float64{0: 90}),
+		NewDemand(3*8192, map[int]float64{1: 90}),
 	}
 	threads := []mesh.Tile{0, 1}
 	a := Greedy(chip, d, threads, 512)
@@ -359,13 +400,13 @@ func TestRefineFindsObviousTrade(t *testing.T) {
 	// VC 0 (hot) has data far away; VC 1 (cold) sits next to thread 0.
 	// Refinement should swap them.
 	d := []Demand{
-		{Size: 8192, Accessors: map[int]float64{0: 100}},
-		{Size: 8192, Accessors: map[int]float64{1: 1}},
+		NewDemand(8192, map[int]float64{0: 100}),
+		NewDemand(8192, map[int]float64{1: 1}),
 	}
 	threads := []mesh.Tile{0, 35}
-	a := NewAssignment(2)
-	a[0][35] = 8192 // hot VC's data in the far corner
-	a[1][0] = 8192  // cold VC's data next to the hot thread
+	a := NewAssignment(2, chip.Banks())
+	a[0].Set(35, 8192) // hot VC's data in the far corner
+	a[1].Set(0, 8192)  // cold VC's data next to the hot thread
 	before := OnChipLatency(chip, d, a, threads)
 	trades, _ := Refine(chip, d, a, threads)
 	after := OnChipLatency(chip, d, a, threads)
@@ -376,24 +417,24 @@ func TestRefineFindsObviousTrade(t *testing.T) {
 		t.Errorf("latency did not improve: %g -> %g", before, after)
 	}
 	// Hot VC should now be local.
-	if a[0][0] < 8192-1 {
-		t.Errorf("hot VC not moved local: %v", a[0])
+	if a[0].Get(0) < 8192-1 {
+		t.Errorf("hot VC not moved local: banks %v", a[0].Banks())
 	}
 }
 
 func TestRefineUsesFreeSpace(t *testing.T) {
 	chip := chip36()
 	// Hot VC far away, near bank empty: move without counterparty.
-	d := []Demand{{Size: 4096, Accessors: map[int]float64{0: 100}}}
+	d := []Demand{NewDemand(4096, map[int]float64{0: 100})}
 	threads := []mesh.Tile{0}
-	a := NewAssignment(1)
-	a[0][35] = 4096
+	a := NewAssignment(1, chip.Banks())
+	a[0].Set(35, 4096)
 	trades, delta := Refine(chip, d, a, threads)
 	if trades == 0 || delta >= 0 {
 		t.Fatalf("free-space move not taken: trades=%d delta=%g", trades, delta)
 	}
-	if a[0][0] < 4096-1 {
-		t.Errorf("data not moved to local bank: %v", a[0])
+	if a[0].Get(0) < 4096-1 {
+		t.Errorf("data not moved to local bank: banks %v", a[0].Banks())
 	}
 }
 
@@ -428,16 +469,16 @@ func TestOptimalTransportExactOnTinyInstance(t *testing.T) {
 	// 2x1 mesh, 2 VCs, hand-checkable: VC0 (hot, at tile 0) must get bank 0.
 	chip := Chip{Topo: mesh.New(2, 1), BankLines: 100}
 	d := []Demand{
-		{Size: 100, Accessors: map[int]float64{0: 10}}, // thread 0 at tile 0
-		{Size: 100, Accessors: map[int]float64{1: 1}},  // thread 1 at tile 1... also wants bank 1
+		NewDemand(100, map[int]float64{0: 10}), // thread 0 at tile 0
+		NewDemand(100, map[int]float64{1: 1}),  // thread 1 at tile 1... also wants bank 1
 	}
 	threads := []mesh.Tile{0, 1}
 	a := OptimalTransport(chip, d, threads, 50)
-	if a[0][0] < 99 {
-		t.Errorf("hot VC not fully local: %v", a[0])
+	if a[0].Get(0) < 99 {
+		t.Errorf("hot VC not fully local: banks %v", a[0].Banks())
 	}
-	if a[1][1] < 99 {
-		t.Errorf("second VC not local: %v", a[1])
+	if a[1].Get(1) < 99 {
+		t.Errorf("second VC not local: banks %v", a[1].Banks())
 	}
 }
 
@@ -445,12 +486,12 @@ func TestAnnealThreadsImprovesBadPlacement(t *testing.T) {
 	chip := chip36()
 	// Data placed at corners, threads placed at the *opposite* corners.
 	d := []Demand{
-		{Size: 8192, Accessors: map[int]float64{0: 100}},
-		{Size: 8192, Accessors: map[int]float64{1: 100}},
+		NewDemand(8192, map[int]float64{0: 100}),
+		NewDemand(8192, map[int]float64{1: 100}),
 	}
-	a := NewAssignment(2)
-	a[0][0] = 8192
-	a[1][35] = 8192
+	a := NewAssignment(2, chip.Banks())
+	a[0].Set(0, 8192)
+	a[1].Set(35, 8192)
 	threads := []mesh.Tile{35, 0} // deliberately swapped
 	before := OnChipLatency(chip, d, a, threads)
 	improved, cost := AnnealThreads(chip, d, a, threads, 3000, rand.New(rand.NewSource(7)))
@@ -472,8 +513,8 @@ func TestGraphPartitionKeepsSharersTogether(t *testing.T) {
 	// Two 8-thread processes, each sharing one VC heavily. Partitioning
 	// should keep co-sharers on the same half of the chip.
 	d := []Demand{
-		{Size: 8192, Accessors: map[int]float64{0: 10, 1: 10, 2: 10, 3: 10, 4: 10, 5: 10, 6: 10, 7: 10}},
-		{Size: 8192, Accessors: map[int]float64{8: 10, 9: 10, 10: 10, 11: 10, 12: 10, 13: 10, 14: 10, 15: 10}},
+		NewDemand(8192, map[int]float64{0: 10, 1: 10, 2: 10, 3: 10, 4: 10, 5: 10, 6: 10, 7: 10}),
+		NewDemand(8192, map[int]float64{8: 10, 9: 10, 10: 10, 11: 10, 12: 10, 13: 10, 14: 10, 15: 10}),
 	}
 	cores := GraphPartition(chip, d, 16)
 	seen := map[mesh.Tile]bool{}

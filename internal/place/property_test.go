@@ -19,7 +19,7 @@ func randomInstance(rng *rand.Rand) (Chip, []Demand, []mesh.Tile) {
 			size = budget
 		}
 		budget -= size
-		demands[i] = Demand{Size: size, Accessors: map[int]float64{i % 64: 5 + rng.Float64()*90}}
+		demands[i] = NewDemand(size, map[int]float64{i % 64: 5 + rng.Float64()*90})
 	}
 	threads := RandomThreads(chip, 64, rng.Perm(64))
 	return chip, demands, threads
@@ -80,10 +80,7 @@ func TestPropertyOptimalIsLowerBound(t *testing.T) {
 		n := 8
 		demands := make([]Demand, n)
 		for i := range demands {
-			demands[i] = Demand{
-				Size:      float64(1+rng.Intn(4)) * 4096,
-				Accessors: map[int]float64{i: 5 + rng.Float64()*90},
-			}
+			demands[i] = NewDemand(float64(1+rng.Intn(4))*4096, map[int]float64{i: 5 + rng.Float64()*90})
 		}
 		threads := RandomThreads(chip, n, rng.Perm(64))
 		opt := OptimalTransport(chip, demands, threads, 512)
@@ -110,8 +107,8 @@ func TestPropertyOptimisticClaimsMatchSizes(t *testing.T) {
 				t.Fatalf("trial %d: VC %d claimed %g of %g", trial, v, got, demands[v].Size)
 			}
 			// Per-bank claims never exceed a bank (per-VC).
-			for b, lines := range opt.Claims[v] {
-				if lines > chip.BankLines+1e-9 {
+			for _, b := range opt.Claims[v].Banks() {
+				if lines := opt.Claims[v].Get(b); lines > chip.BankLines+1e-9 {
 					t.Fatalf("trial %d: VC %d claims %g in bank %d", trial, v, lines, b)
 				}
 			}

@@ -122,10 +122,7 @@ func testOptimisticPlaceAboveThreshold(t *testing.T, w, h int) {
 	rng := rand.New(rand.NewSource(3))
 	demands := make([]Demand, 64)
 	for v := range demands {
-		demands[v] = Demand{
-			Size:      float64(1+rng.Intn(6)) * chip.BankLines,
-			Accessors: map[int]float64{v: 10 + rng.Float64()*40},
-		}
+		demands[v] = NewDemand(float64(1+rng.Intn(6))*chip.BankLines, map[int]float64{v: 10 + rng.Float64()*40})
 	}
 	opt := OptimisticPlace(chip, demands)
 	for v, d := range demands {
@@ -137,7 +134,7 @@ func testOptimisticPlaceAboveThreshold(t *testing.T, w, h int) {
 		// covering the footprint (ties can spill one ring).
 		k := int(d.Size/chip.BankLines) + 1
 		maxR := chip.Topo.RadiusCovering(opt.Center[v], k) + 1
-		for _, b := range sortedBanks(opt.Claims[v]) {
+		for _, b := range opt.Claims[v].Banks() {
 			if chip.Topo.Distance(opt.Center[v], b) > maxR {
 				t.Errorf("VC %d claim in bank %d, %d hops from center (footprint radius %d)",
 					v, b, chip.Topo.Distance(opt.Center[v], b), maxR)
@@ -159,10 +156,7 @@ func TestRefineAboveThreshold(t *testing.T) {
 	demands := make([]Demand, 32)
 	threadCore := make([]mesh.Tile, 32)
 	for v := range demands {
-		demands[v] = Demand{
-			Size:      float64(1+rng.Intn(4)) * chip.BankLines,
-			Accessors: map[int]float64{v: 20},
-		}
+		demands[v] = NewDemand(float64(1+rng.Intn(4))*chip.BankLines, map[int]float64{v: 20})
 		threadCore[v] = mesh.Tile(rng.Intn(chip.Banks()))
 	}
 	assign := Greedy(chip, demands, threadCore, 0)

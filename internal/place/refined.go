@@ -1,10 +1,16 @@
 package place
 
 import (
-	"sort"
+	"slices"
 
 	"cdcs/internal/mesh"
 )
+
+// desirable is one candidate target bank in a VC's trade spiral.
+type desirable struct {
+	bank mesh.Tile
+	d    float64
+}
 
 // Refine performs the paper's refined VC placement (§IV-F, Fig. 8): starting
 // from a greedy placement, each VC spirals outward from its center of mass
@@ -18,22 +24,28 @@ import (
 // The assignment is modified in place; Refine reports the number of executed
 // trades and the total Eq. 2 latency change (≤ 0).
 func Refine(chip Chip, demands []Demand, assign Assignment, threadCore []mesh.Tile) (trades int, delta float64) {
-	dist := VCDistances(chip, demands, threadCore)
-	used := assign.BankUsage(chip.Banks())
+	return RefineIn(NewArena(), chip, demands, assign, threadCore)
+}
+
+// RefineIn is Refine with scratch taken from ar.
+func RefineIn(ar *Arena, chip Chip, demands []Demand, assign Assignment, threadCore []mesh.Tile) (trades int, delta float64) {
+	dist := VCDistancesIn(ar, chip, demands, threadCore)
+	used := assign.BankUsageInto(grow(&ar.used, chip.Banks()))
 
 	// accPerLine[v] = accesses per line of allocated capacity: the weight
 	// that converts moved capacity into latency change.
-	accPerLine := make([]float64, len(demands))
-	for v, d := range demands {
+	accPerLine := grow(&ar.accPerLine, len(demands))
+	for v := range demands {
 		if size := assign.Placed(v); size > 0 {
-			accPerLine[v] = d.TotalRate() / size
+			accPerLine[v] = demands[v].TotalRate() / size
 		}
 	}
 	// residents[b] lists VCs with data in bank b (kept fresh lazily).
-	residents := make([][]int, chip.Banks())
+	residents := growResidents(&ar.residents, chip.Banks())
 	for v := range assign {
-		for b, lines := range assign[v] {
-			if lines > 1e-9 {
+		av := &assign[v]
+		for _, b := range av.banks {
+			if av.lines[b] > 1e-9 {
 				residents[b] = append(residents[b], v)
 			}
 		}
@@ -47,17 +59,14 @@ func Refine(chip Chip, demands []Demand, assign Assignment, threadCore []mesh.Ti
 		if size <= 1e-9 {
 			continue
 		}
+		av := &assign[v]
 		// Spiral from the VC's preferred location: the rate-weighted center
 		// of its accessor threads. (The paper spirals from the VC's center
 		// of mass; after greedy placement both coincide, but the accessor
 		// center also handles degenerate starts where all data is remote.)
-		com := preferredCenter(chip, demands[v], assign[v], threadCore)
+		com := preferredCenter(ar, chip, &demands[v], av, threadCore)
 
-		type desirable struct {
-			bank mesh.Tile
-			d    float64
-		}
-		var desirables []desirable
+		desirables := ar.desirables[:0]
 		seen := 0.0
 
 		// The spiral is data-bounded (it breaks once all of v's data has
@@ -67,7 +76,7 @@ func Refine(chip Chip, demands []Demand, assign Assignment, threadCore []mesh.Ti
 		// latency when greedy scatters late VCs far out (a 4-footprint cap
 		// cost CDCS ~5% WS at 1024 tiles on ext-scaling).
 		for _, b := range chip.Topo.ByDistance(com) {
-			have := assign[v][b]
+			have := av.Get(b)
 			if have < chip.BankLines-1e-9 {
 				desirables = append(desirables, desirable{b, dist[v][b]})
 			}
@@ -76,14 +85,17 @@ func Refine(chip Chip, demands []Demand, assign Assignment, threadCore []mesh.Ti
 			}
 			seen += have
 			// Try to move v's data in b into closer desirable banks.
-			sort.SliceStable(desirables, func(i, j int) bool {
-				if desirables[i].d != desirables[j].d {
-					return desirables[i].d < desirables[j].d
+			slices.SortStableFunc(desirables, func(x, y desirable) int {
+				if x.d != y.d {
+					if x.d < y.d {
+						return -1
+					}
+					return 1
 				}
-				return desirables[i].bank < desirables[j].bank
+				return int(x.bank) - int(y.bank)
 			})
 			for _, cand := range desirables {
-				if assign[v][b] <= 1e-9 {
+				if av.Get(b) <= 1e-9 {
 					break
 				}
 				if cand.d >= dist[v][b]-1e-12 {
@@ -94,32 +106,32 @@ func Refine(chip Chip, demands []Demand, assign Assignment, threadCore []mesh.Ti
 				// Free space first: a move into unclaimed capacity has no
 				// counterparty and always helps.
 				if room := chip.BankLines - used[cand.bank]; room > 1e-9 {
-					m := minF(assign[v][b], room)
+					m := minF(av.Get(b), room)
 					moveCapacity(assign, used, residents, v, b, cand.bank, m)
 					trades++
 					delta += moveGain * m
-					if assign[v][b] <= 1e-9 {
+					if av.Get(b) <= 1e-9 {
 						continue
 					}
 				}
 				// Offer trades to resident VCs.
 				for _, u := range residents[cand.bank] {
-					if u == v || assign[u][cand.bank] <= 1e-9 {
+					if u == v || assign[u].Get(cand.bank) <= 1e-9 {
 						continue
 					}
-					if assign[v][b] <= 1e-9 {
+					if av.Get(b) <= 1e-9 {
 						break
 					}
 					gainU := accPerLine[u] * (dist[u][b] - dist[u][cand.bank])
 					if moveGain+gainU >= -1e-12 {
 						continue
 					}
-					m := minF(assign[v][b], assign[u][cand.bank])
+					m := minF(av.Get(b), assign[u].Get(cand.bank))
 					// Swap m lines: v moves b→cand, u moves cand→b.
-					assign[v][b] -= m
-					assign[v][cand.bank] += m
-					assign[u][cand.bank] -= m
-					assign[u][b] += m
+					av.Add(b, -m)
+					av.Add(cand.bank, m)
+					assign[u].Add(cand.bank, -m)
+					assign[u].Add(b, m)
 					addResident(residents, cand.bank, v)
 					addResident(residents, b, u)
 					trades++
@@ -130,6 +142,7 @@ func Refine(chip Chip, demands []Demand, assign Assignment, threadCore []mesh.Ti
 				break // the spiral has seen all of v's data
 			}
 		}
+		ar.desirables = desirables
 	}
 	return trades, delta
 }
@@ -139,8 +152,9 @@ func Refine(chip Chip, demands []Demand, assign Assignment, threadCore []mesh.Ti
 // trades; this wrapper exists to reproduce that ablation). Returns total
 // trades and latency change, stopping early once a round finds nothing.
 func RefineRounds(chip Chip, demands []Demand, assign Assignment, threadCore []mesh.Tile, rounds int) (trades int, delta float64) {
+	ar := NewArena()
 	for r := 0; r < rounds; r++ {
-		tr, d := Refine(chip, demands, assign, threadCore)
+		tr, d := RefineIn(ar, chip, demands, assign, threadCore)
 		trades += tr
 		delta += d
 		if tr == 0 {
@@ -152,15 +166,43 @@ func RefineRounds(chip Chip, demands []Demand, assign Assignment, threadCore []m
 
 // preferredCenter returns the tile a VC's data would ideally cluster around:
 // the rate-weighted center of its accessors, falling back to the data's own
-// center of mass for accessorless VCs.
-func preferredCenter(chip Chip, d Demand, alloc map[mesh.Tile]float64, threadCore []mesh.Tile) mesh.Tile {
+// center of mass for accessorless VCs. Tile weights accumulate in a dense
+// scratch array (only the touched tiles are reset), and the center-of-mass
+// walk visits touched tiles in ascending id order — the same order the
+// previous map-keyed reduction sorted into.
+func preferredCenter(ar *Arena, chip Chip, d *Demand, alloc *BankAlloc, threadCore []mesh.Tile) mesh.Tile {
 	if d.TotalRate() > 0 {
-		w := make(map[mesh.Tile]float64, len(d.Accessors))
-		for _, t := range sortedAccessors(d.Accessors) {
-			w[threadCore[t]] += d.Accessors[t]
+		w := ensure(&ar.tileW, chip.Banks())
+		for _, t := range d.Threads {
+			w[threadCore[t]] = 0
 		}
-		x, y := chip.Topo.CenterOfMass(w)
-		return chip.Topo.NearestTile(x, y)
+		for i, t := range d.Threads {
+			w[threadCore[t]] += d.Rates[i]
+		}
+		ts := ensure(&ar.pcTiles, len(d.Threads))[:0]
+		for _, t := range d.Threads {
+			ts = append(ts, threadCore[t])
+		}
+		slices.Sort(ts)
+		ar.pcTiles = ts
+		var wx, wy, wsum float64
+		prev := mesh.Tile(-1)
+		for _, tile := range ts {
+			if tile == prev {
+				continue
+			}
+			prev = tile
+			wt := w[tile]
+			tx, ty := chip.Topo.Coords(tile)
+			wx += wt * float64(tx)
+			wy += wt * float64(ty)
+			wsum += wt
+		}
+		if wsum == 0 {
+			cx, cy := chip.Topo.Coords(chip.Topo.CenterTile())
+			return chip.Topo.NearestTile(float64(cx), float64(cy))
+		}
+		return chip.Topo.NearestTile(wx/wsum, wy/wsum)
 	}
 	x, y := CenterOfMass(chip, alloc)
 	return chip.Topo.NearestTile(x, y)
@@ -168,8 +210,8 @@ func preferredCenter(chip Chip, d Demand, alloc map[mesh.Tile]float64, threadCor
 
 // moveCapacity moves m lines of VC v from bank b to free space in bank nb.
 func moveCapacity(assign Assignment, used []float64, residents [][]int, v int, b, nb mesh.Tile, m float64) {
-	assign[v][b] -= m
-	assign[v][nb] += m
+	assign[v].Add(b, -m)
+	assign[v].Add(nb, m)
 	used[b] -= m
 	used[nb] += m
 	addResident(residents, nb, v)

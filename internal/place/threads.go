@@ -1,10 +1,23 @@
 package place
 
 import (
-	"sort"
+	"slices"
 
 	"cdcs/internal/mesh"
 )
+
+// threadInfo is one thread's placement priority and preferred location.
+type threadInfo struct {
+	id       int
+	priority float64 // Σ_d rate × size
+	comX     float64
+	comY     float64
+}
+
+// comAcc accumulates a thread's access-weighted center of mass.
+type comAcc struct {
+	wx, wy, w float64
+}
 
 // PlaceThreads implements §IV-E: each thread is placed as close as possible
 // to the access-weighted center of mass of the VCs it uses (per the
@@ -15,26 +28,25 @@ import (
 // nThreads may be smaller than the core count (under-committed systems);
 // unused cores stay empty.
 func PlaceThreads(chip Chip, demands []Demand, opt Optimistic, nThreads int) []mesh.Tile {
-	type ti struct {
-		id       int
-		priority float64 // Σ_d rate × size
-		comX     float64
-		comY     float64
-	}
-	infos := make([]ti, nThreads)
+	return PlaceThreadsIn(NewArena(), chip, demands, opt, nThreads)
+}
+
+// PlaceThreadsIn is PlaceThreads with scratch (and the returned placement's
+// backing) taken from ar.
+func PlaceThreadsIn(ar *Arena, chip Chip, demands []Demand, opt Optimistic, nThreads int) []mesh.Tile {
+	infos := grow(&ar.infos, nThreads)
 	for t := 0; t < nThreads; t++ {
 		infos[t].id = t
 	}
 	// Accumulate per-thread priority and center of mass over accessed VCs.
-	type acc struct {
-		wx, wy, w float64
-	}
-	coms := make([]acc, nThreads)
-	for v, d := range demands {
-		for t, rate := range d.Accessors {
+	coms := grow(&ar.coms, nThreads)
+	for v := range demands {
+		d := &demands[v]
+		for i, t := range d.Threads {
 			if t >= nThreads {
 				continue
 			}
+			rate := d.Rates[i]
 			infos[t].priority += rate * d.Size
 			// Weight VC centers by the thread's access rate; VCs with zero
 			// allocated size still pull mildly so milc-like threads have a
@@ -54,19 +66,23 @@ func PlaceThreads(chip Chip, demands []Demand, opt Optimistic, nThreads int) []m
 			infos[t].comX, infos[t].comY = float64(ccx), float64(ccy)
 		}
 	}
-	sort.SliceStable(infos, func(i, j int) bool {
-		if infos[i].priority != infos[j].priority {
-			return infos[i].priority > infos[j].priority
+	slices.SortStableFunc(infos, func(a, b threadInfo) int {
+		if a.priority != b.priority {
+			if a.priority > b.priority {
+				return -1
+			}
+			return 1
 		}
-		return infos[i].id < infos[j].id
+		return a.id - b.id
 	})
 
-	free := make([]bool, chip.Banks())
+	free := grow(&ar.freeCore, chip.Banks())
 	for i := range free {
 		free[i] = true
 	}
-	out := make([]mesh.Tile, nThreads)
-	for _, info := range infos {
+	out := grow(&ar.threads, nThreads)
+	for i := range infos {
+		info := &infos[i]
 		best := -1
 		bestDist := 0.0
 		for c := 0; c < chip.Banks(); c++ {

@@ -9,7 +9,6 @@ package policy
 
 import (
 	"fmt"
-	"maps"
 	"math/rand"
 	"slices"
 	"sort"
@@ -139,26 +138,68 @@ type Sched struct {
 	Core *core.Result
 }
 
+// Arena holds reusable scratch for schedule construction: the placement
+// arena plus the policy layer's own buffers (thread orderings, perfmodel
+// inputs). Reusing one arena across Build calls makes the per-cell schedule
+// hot path allocation-free in steady state. Not safe for concurrent use; a
+// Sched built with a non-nil arena borrows its memory and stays valid only
+// until the arena's next Build.
+type Arena struct {
+	place   place.Arena
+	order   []int
+	threads []mesh.Tile
+	keys    []int
+	inputs  []perfmodel.ThreadInput
+	acc     []perfmodel.VCAccess
+}
+
+// NewArena returns an empty arena; buffers grow on first use.
+func NewArena() *Arena { return &Arena{} }
+
+// grow returns a zeroed slice of length n, reusing buf's capacity.
+func grow[T any](buf *[]T, n int) []T {
+	s := *buf
+	if cap(s) < n {
+		s = make([]T, n)
+	} else {
+		s = s[:n]
+		clear(s)
+	}
+	*buf = s
+	return s
+}
+
 // Build computes the schedule for a scheme on a mix. rng drives random
 // thread placement only (seed it for reproducibility); deterministic schemes
 // ignore it.
 func Build(env Env, s Scheme, mix *workload.Mix, rng *rand.Rand) (Sched, error) {
+	return BuildWith(env, s, mix, rng, nil)
+}
+
+// BuildWith is Build with a reusable arena; pass nil for an independent
+// schedule, or a pooled arena to build allocation-free in steady state (the
+// returned Sched then borrows the arena — extract what you need before the
+// arena's next use).
+func BuildWith(env Env, s Scheme, mix *workload.Mix, rng *rand.Rand, ar *Arena) (Sched, error) {
+	if ar == nil {
+		ar = NewArena()
+	}
 	if len(mix.Threads) > env.Chip.Banks() {
 		return Sched{}, fmt.Errorf("policy: %d threads exceed %d cores", len(mix.Threads), env.Chip.Banks())
 	}
-	threads, err := scheduleThreads(env, s, mix, rng)
+	threads, err := scheduleThreads(ar, env, s, mix, rng)
 	if err != nil {
 		return Sched{}, err
 	}
 	switch s.Kind {
 	case SNUCA:
-		return buildSNUCA(env, mix, threads)
+		return buildSNUCA(ar, env, mix, threads)
 	case RNUCA:
-		return buildRNUCA(env, mix, threads)
+		return buildRNUCA(ar, env, mix, threads)
 	case Jigsaw:
-		return buildPartitioned(env, s, mix, threads)
+		return buildPartitioned(ar, env, s, mix, threads)
 	case CDCS:
-		return buildPartitioned(env, s, mix, threads)
+		return buildPartitioned(ar, env, s, mix, threads)
 	default:
 		return Sched{}, fmt.Errorf("policy: unknown kind %d", s.Kind)
 	}
@@ -166,11 +207,11 @@ func Build(env Env, s Scheme, mix *workload.Mix, rng *rand.Rand) (Sched, error) 
 
 // scheduleThreads produces the fixed thread placement for non-placing
 // schemes (CDCS ignores it unless thread placement is disabled).
-func scheduleThreads(env Env, s Scheme, mix *workload.Mix, rng *rand.Rand) ([]mesh.Tile, error) {
+func scheduleThreads(ar *Arena, env Env, s Scheme, mix *workload.Mix, rng *rand.Rand) ([]mesh.Tile, error) {
 	n := len(mix.Threads)
 	switch s.Threads {
 	case Clustered, Placed:
-		return clusteredByBench(env, mix), nil
+		return clusteredByBench(ar, env, mix), nil
 	case Random:
 		if rng == nil {
 			return nil, fmt.Errorf("policy: random thread scheduling needs an rng")
@@ -185,23 +226,26 @@ func scheduleThreads(env Env, s Scheme, mix *workload.Mix, rng *rand.Rand) ([]me
 // the same benchmark sit next to each other (§II-B: "applications are
 // grouped by type", e.g. the six copies of omnet in the top-left corner).
 // This is what creates the pathological capacity contention of Fig. 1b.
-func clusteredByBench(env Env, mix *workload.Mix) []mesh.Tile {
-	order := make([]int, len(mix.Threads))
+func clusteredByBench(ar *Arena, env Env, mix *workload.Mix) []mesh.Tile {
+	order := grow(&ar.order, len(mix.Threads))
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ta, tb := &mix.Threads[order[a]], &mix.Threads[order[b]]
+	slices.SortStableFunc(order, func(a, b int) int {
+		ta, tb := &mix.Threads[a], &mix.Threads[b]
 		ba, bb := mix.Procs[ta.Proc].Bench, mix.Procs[tb.Proc].Bench
 		if ba != bb {
-			return ba < bb
+			if ba < bb {
+				return -1
+			}
+			return 1
 		}
 		if ta.Proc != tb.Proc {
-			return ta.Proc < tb.Proc
+			return ta.Proc - tb.Proc
 		}
-		return ta.ID < tb.ID
+		return ta.ID - tb.ID
 	})
-	out := make([]mesh.Tile, len(mix.Threads))
+	out := grow(&ar.threads, len(mix.Threads))
 	for pos, tid := range order {
 		out[tid] = mesh.Tile(pos % env.Chip.Banks())
 	}
@@ -210,7 +254,7 @@ func clusteredByBench(env Env, mix *workload.Mix) []mesh.Tile {
 
 // buildPartitioned runs the Jigsaw/CDCS reconfiguration pipeline and derives
 // perfmodel inputs from the resulting assignment.
-func buildPartitioned(env Env, s Scheme, mix *workload.Mix, fixed []mesh.Tile) (Sched, error) {
+func buildPartitioned(ar *Arena, env Env, s Scheme, mix *workload.Mix, fixed []mesh.Tile) (Sched, error) {
 	feats := s.Feats
 	if s.Kind == Jigsaw {
 		feats = core.Features{} // miss-curve allocation, fixed threads, greedy
@@ -221,7 +265,7 @@ func buildPartitioned(env Env, s Scheme, mix *workload.Mix, fixed []mesh.Tile) (
 		BankGranular: s.BankGranular,
 		Feats:        feats,
 	}
-	res, err := core.Reconfigure(cfg, mix, fixed)
+	res, err := core.ReconfigureWith(cfg, mix, fixed, &ar.place)
 	if err != nil {
 		return Sched{}, err
 	}
@@ -235,8 +279,8 @@ func buildPartitioned(env Env, s Scheme, mix *workload.Mix, fixed []mesh.Tile) (
 	for v := range mix.VCs {
 		sched.VCRatios[v] = mix.VCs[v].MissRatio.Eval(res.VCSizes[v])
 	}
-	sched.Inputs = buildInputs(env, mix, sched.ThreadCore, sched.VCRatios, func(t int, v int) (float64, float64) {
-		return assignmentHops(env, res.Assignment[v], res.VCSizes[v], sched.ThreadCore[t])
+	sched.Inputs = buildInputs(ar, env, mix, sched.VCRatios, func(t int, v int) (float64, float64) {
+		return assignmentHops(env, &res.Assignment[v], res.VCSizes[v], sched.ThreadCore[t])
 	})
 	return sched, nil
 }
@@ -245,14 +289,14 @@ func buildPartitioned(env Env, s Scheme, mix *workload.Mix, fixed []mesh.Tile) (
 // VC spread per the assignment. Zero-size VCs behave as misses served
 // through the local bank (the line is still looked up somewhere: S-NUCA-like
 // hashing over the VC's notional home, which CDCS maps to the nearest bank).
-func assignmentHops(env Env, alloc map[mesh.Tile]float64, size float64, core mesh.Tile) (float64, float64) {
-	if size <= 0 || len(alloc) == 0 {
+func assignmentHops(env Env, alloc *place.BankAlloc, size float64, core mesh.Tile) (float64, float64) {
+	if size <= 0 || alloc.Len() == 0 {
 		// No capacity: the access checks its (local) home bank and misses.
 		return 0, env.Chip.Topo.AvgMemDistance(core)
 	}
 	var hops, memHops float64
-	for _, b := range slices.Sorted(maps.Keys(alloc)) {
-		frac := alloc[b] / size
+	for _, b := range alloc.Banks() {
+		frac := alloc.Get(b) / size
 		hops += frac * float64(env.Chip.Topo.Distance(core, b))
 		memHops += frac * env.Chip.Topo.AvgMemDistance(b)
 	}
@@ -260,24 +304,42 @@ func assignmentHops(env Env, alloc map[mesh.Tile]float64, size float64, core mes
 }
 
 // buildInputs assembles perfmodel threads from per-(thread,VC) hop
-// functions. ratios are per-VC effective miss ratios.
-func buildInputs(env Env, mix *workload.Mix, threadCore []mesh.Tile, ratios []float64, hops func(t, v int) (float64, float64)) []perfmodel.ThreadInput {
-	inputs := make([]perfmodel.ThreadInput, len(mix.Threads))
+// functions. ratios are per-VC effective miss ratios. The inputs and their
+// access lists are arena-backed.
+func buildInputs(ar *Arena, env Env, mix *workload.Mix, ratios []float64, hops func(t, v int) (float64, float64)) []perfmodel.ThreadInput {
+	inputs := grow(&ar.inputs, len(mix.Threads))
+	total := 0
+	for t := range mix.Threads {
+		total += len(mix.Threads[t].Access)
+	}
+	if cap(ar.acc) < total {
+		ar.acc = make([]perfmodel.VCAccess, 0, total)
+	}
+	acc := ar.acc[:0]
 	for t := range mix.Threads {
 		th := &mix.Threads[t]
 		in := perfmodel.ThreadInput{CPIBase: th.CPIBase, MLP: th.MLP}
 		// VC-id order keeps the Accesses slice (and the model's reductions
 		// over it) independent of map iteration order.
-		for _, v := range slices.Sorted(maps.Keys(th.Access)) {
+		keys := ar.keys[:0]
+		for v := range th.Access {
+			keys = append(keys, v)
+		}
+		sort.Ints(keys)
+		ar.keys = keys
+		start := len(acc)
+		for _, v := range keys {
 			ah, mh := hops(t, v)
-			in.Accesses = append(in.Accesses, perfmodel.VCAccess{
+			acc = append(acc, perfmodel.VCAccess{
 				APKI:      th.Access[v],
 				MissRatio: ratios[v],
 				AvgHops:   ah,
 				MemHops:   mh,
 			})
 		}
+		in.Accesses = acc[start:len(acc):len(acc)]
 		inputs[t] = in
 	}
+	ar.acc = acc
 	return inputs
 }

@@ -12,7 +12,7 @@ import (
 // of all shared data — which is exactly why R-NUCA underperforms partitioned
 // schemes on heterogeneous mixes (§II-B: omnet needs 2.5MB but only ever
 // sees its 512KB local bank).
-func buildRNUCA(env Env, mix *workload.Mix, threads []mesh.Tile) (Sched, error) {
+func buildRNUCA(ar *Arena, env Env, mix *workload.Mix, threads []mesh.Tile) (Sched, error) {
 	nBanks := env.Chip.Banks()
 	bankLines := env.Chip.BankLines
 
@@ -35,6 +35,14 @@ func buildRNUCA(env Env, mix *workload.Mix, threads []mesh.Tile) (Sched, error) 
 		}
 	}
 
+	// Hoist per-VC intensities out of the fixed point (TotalAPKI walks the
+	// accessor map on every call; the loops below used to re-sum it per bank
+	// per iteration).
+	apkiOf := make([]float64, len(mix.VCs))
+	for v := range mix.VCs {
+		apkiOf[v] = mix.VCs[v].TotalAPKI()
+	}
+
 	sizes := make([]float64, len(mix.VCs))
 	ratios := make([]float64, len(mix.VCs))
 	// Initial guess: private VCs get a bank, shared split the rest evenly.
@@ -48,23 +56,28 @@ func buildRNUCA(env Env, mix *workload.Mix, threads []mesh.Tile) (Sched, error) 
 	}
 
 	// Global fixed point: each bank splits LRU-proportionally between its
-	// local private stream and 1/N of every shared stream.
+	// local private stream and 1/N of every shared stream. sharedTotal is
+	// indexed parallel to sharedVCs (it was a map keyed by VC id; reads were
+	// already in sharedVCs order, so the dense form is value-identical).
+	wShared := make([]float64, len(sharedVCs))
+	sharedTotal := make([]float64, len(sharedVCs))
 	for iter := 0; iter < 100; iter++ {
 		for v := range mix.VCs {
 			ratios[v] = mix.VCs[v].MissRatio.Eval(sizes[v])
 		}
-		sharedTotal := make(map[int]float64, len(sharedVCs))
+		for i := range sharedTotal {
+			sharedTotal[i] = 0
+		}
 		maxDelta := 0.0
 		for b := 0; b < nBanks; b++ {
 			pv := privAt[b]
 			wPriv := 0.0
 			if pv >= 0 {
-				wPriv = mix.VCs[pv].TotalAPKI()*ratios[pv] + 1e-3
+				wPriv = apkiOf[pv]*ratios[pv] + 1e-3
 			}
-			wShared := make([]float64, len(sharedVCs))
 			total := wPriv
 			for i, v := range sharedVCs {
-				wShared[i] = (mix.VCs[v].TotalAPKI()*ratios[v] + 1e-3) / float64(nBanks)
+				wShared[i] = (apkiOf[v]*ratios[v] + 1e-3) / float64(nBanks)
 				total += wShared[i]
 			}
 			if total <= 0 {
@@ -81,12 +94,12 @@ func buildRNUCA(env Env, mix *workload.Mix, threads []mesh.Tile) (Sched, error) 
 				}
 				sizes[pv] = next
 			}
-			for i, v := range sharedVCs {
-				sharedTotal[v] += bankLines * wShared[i] / total
+			for i := range sharedVCs {
+				sharedTotal[i] += bankLines * wShared[i] / total
 			}
 		}
-		for _, v := range sharedVCs {
-			target := sharedTotal[v]
+		for i, v := range sharedVCs {
+			target := sharedTotal[i]
 			if max := mix.VCs[v].MissRatio.MaxX(); target > max {
 				target = max
 			}
@@ -104,33 +117,20 @@ func buildRNUCA(env Env, mix *workload.Mix, threads []mesh.Tile) (Sched, error) 
 		ratios[v] = mix.VCs[v].MissRatio.Eval(sizes[v])
 	}
 
-	// Distances: private data is local; shared data is uniformly spread.
-	n := env.Chip.Banks()
-	meanFrom := make([]float64, n)
-	meanMem := 0.0
-	for b := 0; b < n; b++ {
-		meanMem += env.Chip.Topo.AvgMemDistance(mesh.Tile(b))
-	}
-	meanMem /= float64(n)
-	for c := 0; c < n; c++ {
-		sum := 0.0
-		for b := 0; b < n; b++ {
-			sum += float64(env.Chip.Topo.Distance(mesh.Tile(c), mesh.Tile(b)))
-		}
-		meanFrom[c] = sum / float64(n)
-	}
-
+	// Distances: private data is local; shared data is uniformly spread
+	// (means precomputed by the topology with identical arithmetic).
+	topo := env.Chip.Topo
 	sched := Sched{
 		Name:       "R-NUCA",
 		ThreadCore: threads,
 		VCSizes:    sizes,
 		VCRatios:   ratios,
 	}
-	sched.Inputs = buildInputs(env, mix, threads, ratios, func(t, v int) (float64, float64) {
+	sched.Inputs = buildInputs(ar, env, mix, ratios, func(t, v int) (float64, float64) {
 		if mix.VCs[v].Kind == workload.ThreadPrivate {
 			return 0, env.Chip.Topo.AvgMemDistance(threads[t])
 		}
-		return meanFrom[threads[t]], meanMem
+		return topo.MeanDistanceFrom(threads[t]), topo.MeanMemDistance()
 	})
 	return sched, nil
 }

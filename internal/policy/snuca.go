@@ -7,34 +7,21 @@ import (
 
 // buildSNUCA models a static NUCA: every VC's lines are spread over all
 // banks by the line-bank hash, so every access travels the mean core-to-bank
-// distance, and all VCs contend for the whole LLC under shared LRU.
-func buildSNUCA(env Env, mix *workload.Mix, threads []mesh.Tile) (Sched, error) {
+// distance, and all VCs contend for the whole LLC under shared LRU. The mean
+// distances come precomputed from the topology (identical arithmetic, done
+// once per mesh instead of once per build).
+func buildSNUCA(ar *Arena, env Env, mix *workload.Mix, threads []mesh.Tile) (Sched, error) {
 	sizes, ratios := sharedLRUFixedPoint(mix.VCs, nil, env.Chip.TotalLines())
 
-	// Mean distance from each core to a uniformly hashed bank.
-	n := env.Chip.Banks()
-	meanFrom := make([]float64, n)
-	meanMem := 0.0
-	for b := 0; b < n; b++ {
-		meanMem += env.Chip.Topo.AvgMemDistance(mesh.Tile(b))
-	}
-	meanMem /= float64(n)
-	for c := 0; c < n; c++ {
-		sum := 0.0
-		for b := 0; b < n; b++ {
-			sum += float64(env.Chip.Topo.Distance(mesh.Tile(c), mesh.Tile(b)))
-		}
-		meanFrom[c] = sum / float64(n)
-	}
-
+	topo := env.Chip.Topo
 	sched := Sched{
 		Name:       "S-NUCA",
 		ThreadCore: threads,
 		VCSizes:    sizes,
 		VCRatios:   ratios,
 	}
-	sched.Inputs = buildInputs(env, mix, threads, ratios, func(t, v int) (float64, float64) {
-		return meanFrom[threads[t]], meanMem
+	sched.Inputs = buildInputs(ar, env, mix, ratios, func(t, v int) (float64, float64) {
+		return topo.MeanDistanceFrom(threads[t]), topo.MeanMemDistance()
 	})
 	return sched, nil
 }
@@ -57,18 +44,25 @@ func sharedLRUFixedPoint(vcs []workload.VC, include func(int) bool, capacity flo
 	if len(active) == 0 {
 		return sizes, ratios
 	}
+	// Hoist the per-VC access intensities: TotalAPKI walks the accessor map
+	// on every call, and the fixed point below used to re-sum it on every
+	// iteration of every VC.
+	apki := make([]float64, len(active))
+	for i, v := range active {
+		apki[i] = vcs[v].TotalAPKI()
+	}
 	// Start from an equal split; iterate occupancy ∝ insertion rate.
 	for _, v := range active {
 		sizes[v] = capacity / float64(len(active))
 	}
+	ws := make([]float64, len(active))
 	for iter := 0; iter < 100; iter++ {
 		totalW := 0.0
-		ws := make([]float64, len(active))
 		for i, v := range active {
 			r := vcs[v].MissRatio.Eval(sizes[v])
 			// Small floor keeps fully-fitting VCs resident (they still own
 			// their working set even with near-zero insertions).
-			w := vcs[v].TotalAPKI()*r + 1e-3
+			w := apki[i]*r + 1e-3
 			ws[i] = w
 			totalW += w
 		}

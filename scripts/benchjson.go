@@ -7,11 +7,13 @@
 //	    -baseline BENCH_baseline.json -bench BenchmarkCampaignParallel -max-regress 0.20
 //
 // With -baseline, the exit status is non-zero if any benchmark matching
-// -bench regressed in ns/op by more than -max-regress relative to the
-// baseline. Names are normalized by stripping the trailing -GOMAXPROCS
-// suffix so runs from machines with different core counts still compare on
-// their shared sub-benchmarks (e.g. j=1, j=2); sub-benchmarks present on
-// only one side are reported and skipped.
+// -bench regressed by more than -max-regress relative to the baseline in
+// ns/op, B/op or allocs/op (the memory metrics are gated only when both
+// sides recorded them, so baselines captured without -benchmem still gate
+// on time alone). Names are normalized by stripping the trailing
+// -GOMAXPROCS suffix so runs from machines with different core counts still
+// compare on their shared sub-benchmarks (e.g. j=1, j=2); sub-benchmarks
+// present on only one side are reported and skipped.
 package main
 
 import (
@@ -193,8 +195,15 @@ func readFile(path string) (*File, error) {
 	return &f, nil
 }
 
+// gatedMetrics are the per-benchmark metrics the gate checks beyond ns/op,
+// when both the baseline and the current run recorded them. Keeping the
+// allocation profile gated stops map-keyed reductions and per-call scratch
+// from creeping back into the placement hot path unnoticed.
+var gatedMetrics = []string{"B/op", "allocs/op"}
+
 // gate compares current against base for benchmarks matching the prefix and
-// returns 1 if any shared sub-benchmark regressed beyond maxRegress.
+// returns 1 if any shared sub-benchmark regressed beyond maxRegress in
+// ns/op or in a gated metric both sides recorded.
 func gate(base, cur *File, prefix string, maxRegress float64) int {
 	curByName := map[string]Benchmark{}
 	for _, b := range cur.Benchmarks {
@@ -217,6 +226,16 @@ func gate(base, cur *File, prefix string, maxRegress float64) int {
 		baseByName[b.Name] = b
 	}
 	failed, compared := 0, 0
+	check := func(name, unit string, baseV, curV float64) {
+		ratio := curV / baseV
+		verdict := "ok"
+		if ratio > 1+maxRegress {
+			verdict = fmt.Sprintf("REGRESSION > %+.0f%%", maxRegress*100)
+			failed++
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-45s base %14.0f %-9s now %14.0f (%+.1f%%) %s\n",
+			name, baseV, unit+",", curV, (ratio-1)*100, verdict)
+	}
 	for _, name := range names {
 		bb := baseByName[name]
 		cb, ok := curByName[name]
@@ -231,25 +250,46 @@ func gate(base, cur *File, prefix string, maxRegress float64) int {
 			continue
 		}
 		compared++
-		ratio := cb.NsPerOp / bb.NsPerOp
-		verdict := "ok"
-		if ratio > 1+maxRegress {
-			verdict = fmt.Sprintf("REGRESSION > %+.0f%%", maxRegress*100)
-			failed++
+		check(name, "ns/op", bb.NsPerOp, cb.NsPerOp)
+		for _, metric := range gatedMetrics {
+			baseV, okB := bb.Metrics[metric]
+			curV, okC := cb.Metrics[metric]
+			if !okB {
+				continue // baseline predates -benchmem capture for this metric
+			}
+			if !okC {
+				// The baseline gates this metric but the current run did not
+				// record it — that disables the gate (e.g. -benchmem dropped
+				// from the CI command), which must fail loudly, not warn.
+				fmt.Fprintf(os.Stderr, "benchjson: %-45s current run missing %s — run with -benchmem  FAIL\n", name, metric)
+				failed++
+				continue
+			}
+			if baseV == 0 {
+				// An allocation-free baseline has no ratio to scale; any
+				// nonzero value is a regression from zero.
+				verdict := "ok"
+				if curV > 0 {
+					verdict = "REGRESSION from 0"
+					failed++
+				}
+				fmt.Fprintf(os.Stderr, "benchjson: %-45s base %14.0f %-9s now %14.0f %s\n",
+					name, baseV, metric+",", curV, verdict)
+				continue
+			}
+			check(name, metric, baseV, curV)
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: %-45s base %14.0f ns/op, now %14.0f ns/op (%+.1f%%) %s\n",
-			name, bb.NsPerOp, cb.NsPerOp, (ratio-1)*100, verdict)
 	}
 	if compared == 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: no shared sub-benchmarks matching %q to compare\n", prefix)
 		return 1
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: %d of %d gated benchmarks regressed more than %.0f%%\n",
-			failed, compared, maxRegress*100)
+		fmt.Fprintf(os.Stderr, "benchjson: %d regressions beyond %.0f%% across %d gated benchmarks\n",
+			failed, maxRegress*100, compared)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: all %d gated benchmarks within %.0f%% of baseline\n",
+	fmt.Fprintf(os.Stderr, "benchjson: all %d gated benchmarks within %.0f%% of baseline (ns/op, B/op, allocs/op)\n",
 		compared, maxRegress*100)
 	return 0
 }

@@ -120,3 +120,74 @@ func TestGateNoMatchingBaselineFails(t *testing.T) {
 		t.Errorf("gate passed with no matching baseline benchmarks: exit %d", code)
 	}
 }
+
+// withMetrics sets B/op and allocs/op on the single gated benchmark.
+func withMetrics(f *File, bop, allocs float64) *File {
+	f.Benchmarks[0].Metrics = map[string]float64{"B/op": bop, "allocs/op": allocs}
+	return f
+}
+
+func TestGateAllocRegressionFails(t *testing.T) {
+	// ns/op within budget, allocs/op +50%: the memory gate must trip.
+	base, cur := gateFiles(1000, 1000)
+	withMetrics(base, 1000, 100)
+	withMetrics(cur, 1000, 150)
+	if code := gate(base, cur, "BenchmarkCampaignParallel", 0.20); code != 1 {
+		t.Errorf("gate passed a +50%% allocs/op regression: exit %d", code)
+	}
+}
+
+func TestGateBytesRegressionFails(t *testing.T) {
+	base, cur := gateFiles(1000, 1000)
+	withMetrics(base, 1000, 100)
+	withMetrics(cur, 1300, 100) // B/op +30%
+	if code := gate(base, cur, "BenchmarkCampaignParallel", 0.20); code != 1 {
+		t.Errorf("gate passed a +30%% B/op regression: exit %d", code)
+	}
+}
+
+func TestGateMetricsWithinBudgetPass(t *testing.T) {
+	base, cur := gateFiles(1000, 1100)
+	withMetrics(base, 1000, 100)
+	withMetrics(cur, 1100, 110) // everything +10% < 20%
+	if code := gate(base, cur, "BenchmarkCampaignParallel", 0.20); code != 0 {
+		t.Errorf("gate failed a +10%% run with metrics: exit %d", code)
+	}
+}
+
+func TestGateSkipsMetricsAbsentFromBaseline(t *testing.T) {
+	// Old baselines without -benchmem metrics still gate on ns/op alone,
+	// even when the current run would look like a huge memory regression.
+	base, cur := gateFiles(1000, 1000)
+	withMetrics(cur, 999999, 999999)
+	if code := gate(base, cur, "BenchmarkCampaignParallel", 0.20); code != 0 {
+		t.Errorf("gate failed on metrics the baseline never recorded: exit %d", code)
+	}
+}
+
+func TestGateFailsWhenCurrentMissesGatedMetric(t *testing.T) {
+	// The baseline gates memory metrics; a current run without them (e.g.
+	// -benchmem dropped from the CI command) silently disables the gate,
+	// so it must fail, not warn.
+	base, cur := gateFiles(1000, 1000)
+	withMetrics(base, 1000, 100)
+	if code := gate(base, cur, "BenchmarkCampaignParallel", 0.20); code != 1 {
+		t.Errorf("gate passed a run missing gated metrics: exit %d", code)
+	}
+}
+
+func TestGateZeroAllocBaselineRegression(t *testing.T) {
+	// A 0 allocs/op baseline has no ratio to scale: any nonzero current
+	// value is a regression from zero and must trip the gate.
+	base, cur := gateFiles(1000, 1000)
+	withMetrics(base, 1000, 0)
+	withMetrics(cur, 1000, 10)
+	if code := gate(base, cur, "BenchmarkCampaignParallel", 0.20); code != 1 {
+		t.Errorf("gate passed a regression from 0 allocs/op: exit %d", code)
+	}
+	// Staying at zero passes.
+	withMetrics(cur, 1000, 0)
+	if code := gate(base, cur, "BenchmarkCampaignParallel", 0.20); code != 0 {
+		t.Errorf("gate failed an alloc-free run against an alloc-free baseline: exit %d", code)
+	}
+}
