@@ -356,6 +356,9 @@ func (s *System) CompareWithOptions(mix *Mix, seed int64, opts RunOptions, schem
 	if len(schemes) == 0 {
 		return nil, fmt.Errorf("cdcs: Compare needs at least one scheme")
 	}
+	// Materialize dense accessor views once, here on the single-threaded
+	// path, so the per-scheme workers share sealed read-only state.
+	mix.inner.Seal()
 	results := make([]*Result, len(schemes))
 	if err := opts.engine().ForEach(len(schemes), func(i int) error {
 		r, err := s.Run(schemes[i], mix, seed+int64(i))

@@ -33,7 +33,6 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -89,6 +88,7 @@ func run() int {
 		Workers:        *workers,
 		JobTimeout:     jobTimeout,
 		SimParallelism: *jobs,
+		Pprof:          *pprof,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cdcs-serve: %v\n", err)
@@ -108,26 +108,12 @@ func run() int {
 	// can scrape the ephemeral port.
 	fmt.Printf("cdcs-serve: listening on %s\n", ln.Addr())
 
-	handler := srv.Handler()
 	if *pprof {
-		// Profiling endpoints are opt-in so the default deployment exposes
-		// no introspection surface; with -pprof, hot-path work (placement,
-		// cache tiers) starts from a CPU/heap profile instead of a guess:
-		//   go tool pprof http://HOST/debug/pprof/profile?seconds=30
-		//   go tool pprof http://HOST/debug/pprof/heap
-		mux := http.NewServeMux()
-		mux.Handle("/", handler)
-		mux.HandleFunc("/debug/pprof/", netpprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
-		handler = mux
 		fmt.Fprintln(os.Stderr, "cdcs-serve: pprof handlers mounted at /debug/pprof/")
 	}
 
 	hs := &http.Server{
-		Handler:           handler,
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

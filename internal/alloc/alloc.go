@@ -10,9 +10,8 @@
 package alloc
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
+	"slices"
 
 	"cdcs/internal/curves"
 	"cdcs/internal/mesh"
@@ -31,7 +30,7 @@ func Peekahead(costs []curves.Curve, totalLines float64) []float64 {
 	for i, c := range costs {
 		hulls[i] = c.ConvexHull()
 	}
-	return peekaheadHulls(hulls, totalLines, true)
+	return peekaheadHulls(hulls, totalLines, true, nil)
 }
 
 // PeekaheadFull allocates like Peekahead but never stops early: segments
@@ -44,7 +43,7 @@ func PeekaheadFull(costs []curves.Curve, totalLines float64) []float64 {
 	for i, c := range costs {
 		hulls[i] = c.ConvexHull()
 	}
-	return peekaheadHulls(hulls, totalLines, false)
+	return peekaheadHulls(hulls, totalLines, false, nil)
 }
 
 // segment is one candidate hull advance for a VC.
@@ -56,31 +55,83 @@ type segment struct {
 	knot int     // hull knot index this segment ends at
 }
 
-// segHeap orders segments by steepest descent.
+// segHeap is a binary min-heap of segments ordered by steepest descent. It
+// implements push/pop directly (the classic sift-up/sift-down, identical
+// element ordering to container/heap) rather than through heap.Interface:
+// the interface's Push(any) boxes every segment, which was the last
+// allocation left in the steady-state allocation round.
 type segHeap []segment
 
-func (h segHeap) Len() int      { return len(h) }
-func (h segHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h segHeap) Less(i, j int) bool {
+func (h segHeap) less(i, j int) bool {
 	if h[i].rate != h[j].rate {
 		return h[i].rate < h[j].rate
 	}
 	return h[i].vc < h[j].vc
 }
-func (h *segHeap) Push(x any) { *h = append(*h, x.(segment)) }
-func (h *segHeap) Pop() any {
+
+func (h segHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h segHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+func (h segHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i, len(h))
+	}
+}
+
+func (h *segHeap) push(s segment) {
+	*h = append(*h, s)
+	h.up(len(*h) - 1)
+}
+
+func (h *segHeap) pop() segment {
 	old := *h
-	n := len(old)
-	s := old[n-1]
-	*h = old[:n-1]
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old.down(0, n)
+	s := old[n]
+	*h = old[:n]
 	return s
 }
 
-func peekaheadHulls(hulls []curves.Curve, totalLines float64, stopAtZero bool) []float64 {
-	alloc := make([]float64, len(hulls))
+func peekaheadHulls(hulls []curves.Curve, totalLines float64, stopAtZero bool, ar *Arena) []float64 {
+	var alloc []float64
+	var h segHeap
+	if ar != nil {
+		alloc = growFloats(&ar.alloc, len(hulls))
+		h = ar.heap[:0]
+	} else {
+		alloc = make([]float64, len(hulls))
+		h = make(segHeap, 0, len(hulls))
+	}
 	remaining := totalLines
 
-	h := make(segHeap, 0, len(hulls))
 	next := func(vc, fromKnot int) (segment, bool) {
 		hull := hulls[vc]
 		if fromKnot+1 >= hull.Len() {
@@ -98,10 +149,10 @@ func peekaheadHulls(hulls []curves.Curve, totalLines float64, stopAtZero bool) [
 			h = append(h, s)
 		}
 	}
-	heap.Init(&h)
+	h.init()
 
-	for remaining > 1e-9 && h.Len() > 0 {
-		s := heap.Pop(&h).(segment)
+	for remaining > 1e-9 && len(h) > 0 {
+		s := h.pop()
 		if s.rate >= 0 && (stopAtZero || s.rate > 0) {
 			// No curve improves with more capacity: stop (latency-aware);
 			// in full mode only strictly harmful segments stop allocation.
@@ -111,7 +162,7 @@ func peekaheadHulls(hulls []curves.Curve, totalLines float64, stopAtZero bool) [
 			alloc[s.vc] += s.dx
 			remaining -= s.dx
 			if nx, ok := next(s.vc, s.knot); ok {
-				heap.Push(&h, nx)
+				h.push(nx)
 			}
 		} else {
 			// Partial advance along a linear hull segment keeps the same
@@ -120,25 +171,26 @@ func peekaheadHulls(hulls []curves.Curve, totalLines float64, stopAtZero bool) [
 			remaining = 0
 		}
 	}
+	if ar != nil {
+		ar.heap = h[:0] // keep the (possibly grown) backing for the next round
+	}
 	return alloc
 }
 
-// PeekaheadQuantized allocates like Peekahead but rounds each VC's
-// allocation to a multiple of chunkLines (whole-bank allocation in the
-// §VI-C bank-partitioned configuration uses chunk = bank size). Rounding is
-// largest-remainder so the total never exceeds totalLines.
-func PeekaheadQuantized(costs []curves.Curve, totalLines, chunkLines float64) []float64 {
+// frac is a VC's sub-chunk remainder, ranked for largest-remainder rounding.
+type frac struct {
+	vc int
+	f  float64
+}
+
+// quantize rounds raw down to multiples of chunkLines into out, then hands
+// leftover chunks to the largest remainders (VC index breaks ties, a total
+// order, so the sort result is unique). fracs is scratch; the possibly-grown
+// slice is returned so arena callers can keep the backing.
+func quantize(raw, out []float64, fracs []frac, totalLines, chunkLines float64) []frac {
 	if chunkLines <= 0 {
 		panic(fmt.Sprintf("alloc: invalid chunk %g", chunkLines))
 	}
-	raw := Peekahead(costs, totalLines)
-	n := len(raw)
-	out := make([]float64, n)
-	type frac struct {
-		vc int
-		f  float64
-	}
-	fracs := make([]frac, 0, n)
 	used := 0.0
 	for i, a := range raw {
 		whole := float64(int(a / chunkLines))
@@ -146,11 +198,14 @@ func PeekaheadQuantized(costs []curves.Curve, totalLines, chunkLines float64) []
 		used += out[i]
 		fracs = append(fracs, frac{i, a - out[i]})
 	}
-	sort.Slice(fracs, func(i, j int) bool {
-		if fracs[i].f != fracs[j].f {
-			return fracs[i].f > fracs[j].f
+	slices.SortFunc(fracs, func(a, b frac) int {
+		if a.f != b.f {
+			if a.f > b.f {
+				return -1
+			}
+			return 1
 		}
-		return fracs[i].vc < fracs[j].vc
+		return a.vc - b.vc
 	})
 	for _, fr := range fracs {
 		if used+chunkLines > totalLines+1e-9 {
@@ -162,6 +217,17 @@ func PeekaheadQuantized(costs []curves.Curve, totalLines, chunkLines float64) []
 		out[fr.vc] += chunkLines
 		used += chunkLines
 	}
+	return fracs
+}
+
+// PeekaheadQuantized allocates like Peekahead but rounds each VC's
+// allocation to a multiple of chunkLines (whole-bank allocation in the
+// §VI-C bank-partitioned configuration uses chunk = bank size). Rounding is
+// largest-remainder so the total never exceeds totalLines.
+func PeekaheadQuantized(costs []curves.Curve, totalLines, chunkLines float64) []float64 {
+	raw := Peekahead(costs, totalLines)
+	out := make([]float64, len(raw))
+	quantize(raw, out, make([]frac, 0, len(raw)), totalLines, chunkLines)
 	return out
 }
 
@@ -234,19 +300,5 @@ func MissLatencyCurve(ratio curves.Curve, apki float64, m LatencyModel, maxLines
 // knotUnion merges the knot sets of two curves, clipped to [0, maxLines],
 // always including both endpoints.
 func knotUnion(a, b curves.Curve, maxLines float64) []float64 {
-	seen := map[float64]bool{0: true, maxLines: true}
-	xs := []float64{0, maxLines}
-	add := func(c curves.Curve) {
-		for i := 0; i < c.Len(); i++ {
-			x, _ := c.Knot(i)
-			if x > 0 && x < maxLines && !seen[x] {
-				seen[x] = true
-				xs = append(xs, x)
-			}
-		}
-	}
-	add(a)
-	add(b)
-	sort.Float64s(xs)
-	return xs
+	return knotUnionInto(nil, a, b, maxLines)
 }

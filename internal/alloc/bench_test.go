@@ -26,6 +26,33 @@ func BenchmarkPeekahead64VCs(b *testing.B) {
 	}
 }
 
+// BenchmarkPeekahead measures one full arena-backed allocation round — the
+// steady-state step-1 hot path: 64 total-latency curves built into arena
+// slots plus a quantized Peekahead. Gated in CI on B/op and allocs/op; both
+// must stay at zero in steady state.
+func BenchmarkPeekahead(b *testing.B) {
+	topo := mesh.New(8, 8)
+	m := LatencyModel{MemLatency: 130, HopLatency: 4, RoundTrip: 2}
+	profiles := workload.SPECCPU()
+	total := 64 * 8192.0
+	ar := NewArena()
+	round := func() {
+		dist := ar.CompactDistance(topo, 8192)
+		costs := ar.Costs(64)
+		for i := range costs {
+			p := profiles[i%len(profiles)]
+			costs[i] = TotalLatencyCurveInto(costs[i], p.MissRatio, p.APKI, dist, m, total)
+		}
+		PeekaheadQuantizedIn(ar, costs, total, 8192)
+	}
+	round()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round()
+	}
+}
+
 // BenchmarkTotalLatencyCurve measures cost-curve construction per VC.
 func BenchmarkTotalLatencyCurve(b *testing.B) {
 	topo := mesh.New(8, 8)

@@ -107,12 +107,14 @@ func Reconfigure(cfg Config, mix *workload.Mix, fixedThreads []mesh.Tile) (Resul
 	return ReconfigureWith(cfg, mix, fixedThreads, nil)
 }
 
-// ReconfigureWith is Reconfigure with a reusable placement arena: passing a
-// non-nil arena makes the steady-state placement pipeline (steps 2-4)
-// allocation-free across rounds. The returned Result then borrows the
-// arena's memory (Assignment, ThreadCore, Optimistic) and stays valid only
-// until the arena's next use; pass nil to get an independent Result.
-func ReconfigureWith(cfg Config, mix *workload.Mix, fixedThreads []mesh.Tile, ar *place.Arena) (Result, error) {
+// ReconfigureWith is Reconfigure with a reusable arena: passing a non-nil
+// arena makes a steady-state round — capacity allocation (step 1) and the
+// placement pipeline (steps 2-4) — allocation-free across rounds, and a
+// sealed mix (workload.Mix.Seal) additionally skips every per-round map walk.
+// The returned Result then borrows the arena's memory (VCSizes, Assignment,
+// ThreadCore, Optimistic) and stays valid only until the arena's next use;
+// pass nil to get an independent Result.
+func ReconfigureWith(cfg Config, mix *workload.Mix, fixedThreads []mesh.Tile, ar *Arena) (Result, error) {
 	nThreads := len(mix.Threads)
 	if nThreads > cfg.Chip.Banks() {
 		return Result{}, fmt.Errorf("core: %d threads exceed %d cores", nThreads, cfg.Chip.Banks())
@@ -122,35 +124,45 @@ func ReconfigureWith(cfg Config, mix *workload.Mix, fixedThreads []mesh.Tile, ar
 			return Result{}, fmt.Errorf("core: fixed thread placement covers %d of %d threads", len(fixedThreads), nThreads)
 		}
 	}
+	var aa *alloc.Arena
 	if ar == nil {
-		ar = place.NewArena()
+		ar = NewArena()
+	} else {
+		aa = &ar.Alloc
 	}
+	pa := &ar.Place
 
 	var res Result
 
 	// Step 1: capacity allocation.
 	start := time.Now()
-	res.VCSizes = allocate(cfg, mix)
+	res.VCSizes = allocate(cfg, mix, aa)
 	res.Timing.Alloc = time.Since(start)
 
 	totalAcc := 0
 	for v := range mix.VCs {
 		totalAcc += len(mix.VCs[v].Accessors)
 	}
-	demands := ar.StartDemands(len(mix.VCs), totalAcc)
+	demands := pa.StartDemands(len(mix.VCs), totalAcc)
 	for v := range mix.VCs {
-		demands = ar.AppendDemand(demands, res.VCSizes[v], mix.VCs[v].Accessors)
+		if ids, rates := mix.VCs[v].DenseAccessors(); ids != nil {
+			// Sealed mix: the dense views are already in ascending thread-id
+			// order, exactly what AppendDemand would produce — alias them.
+			demands = pa.AppendDemandSorted(demands, res.VCSizes[v], ids, rates)
+		} else {
+			demands = pa.AppendDemand(demands, res.VCSizes[v], mix.VCs[v].Accessors)
+		}
 	}
 
 	// Step 2: optimistic contention-aware VC placement.
 	start = time.Now()
-	res.Optimistic = place.OptimisticPlaceIn(ar, cfg.Chip, demands)
+	res.Optimistic = place.OptimisticPlaceIn(pa, cfg.Chip, demands)
 	res.Timing.VCPlace = time.Since(start)
 
 	// Step 3: thread placement.
 	start = time.Now()
 	if cfg.Feats.ThreadPlace {
-		res.ThreadCore = place.PlaceThreadsIn(ar, cfg.Chip, demands, res.Optimistic, nThreads)
+		res.ThreadCore = place.PlaceThreadsIn(pa, cfg.Chip, demands, res.Optimistic, nThreads)
 	} else {
 		res.ThreadCore = append([]mesh.Tile(nil), fixedThreads[:nThreads]...)
 	}
@@ -158,9 +170,9 @@ func ReconfigureWith(cfg Config, mix *workload.Mix, fixedThreads []mesh.Tile, ar
 
 	// Step 4: refined data placement.
 	start = time.Now()
-	res.Assignment = place.GreedyIn(ar, cfg.Chip, demands, res.ThreadCore, cfg.chunk())
+	res.Assignment = place.GreedyIn(pa, cfg.Chip, demands, res.ThreadCore, cfg.chunk())
 	if cfg.Feats.RefinedTrades {
-		res.Trades, res.TradeGain = place.RefineIn(ar, cfg.Chip, demands, res.Assignment, res.ThreadCore)
+		res.Trades, res.TradeGain = place.RefineIn(pa, cfg.Chip, demands, res.Assignment, res.ThreadCore)
 	}
 	res.Timing.DataPlace = time.Since(start)
 
@@ -169,9 +181,31 @@ func ReconfigureWith(cfg Config, mix *workload.Mix, fixedThreads []mesh.Tile, ar
 
 // allocate sizes all VCs (step 1). Latency-aware mode uses total-latency
 // curves and may leave capacity unused; otherwise miss-cost curves are used
-// and all capacity is handed out (Jigsaw).
-func allocate(cfg Config, mix *workload.Mix) []float64 {
+// and all capacity is handed out (Jigsaw). A non-nil arena reuses curve
+// backings, hull storage and the segment heap across calls; results are bit-
+// identical either way (same knot merges, same arithmetic, same heap order).
+func allocate(cfg Config, mix *workload.Mix, aa *alloc.Arena) []float64 {
 	total := cfg.Chip.TotalLines()
+	if aa != nil {
+		dist := aa.CompactDistance(cfg.Chip.Topo, cfg.Chip.BankLines)
+		costs := aa.Costs(len(mix.VCs))
+		for v := range mix.VCs {
+			vc := &mix.VCs[v]
+			apki := vc.TotalAPKI()
+			if cfg.Feats.LatencyAware {
+				costs[v] = alloc.TotalLatencyCurveInto(costs[v], vc.MissRatio, apki, dist, cfg.Model, total)
+			} else {
+				costs[v] = alloc.MissLatencyCurveInto(costs[v], vc.MissRatio, apki, cfg.Model, total)
+			}
+		}
+		if cfg.BankGranular {
+			return alloc.PeekaheadQuantizedIn(aa, costs, total, cfg.Chip.BankLines)
+		}
+		if cfg.Feats.LatencyAware {
+			return alloc.PeekaheadIn(aa, costs, total)
+		}
+		return alloc.PeekaheadFullIn(aa, costs, total)
+	}
 	dist := alloc.CompactDistance(cfg.Chip.Topo, cfg.Chip.BankLines)
 	costs := make([]curves.Curve, len(mix.VCs))
 	for v := range mix.VCs {

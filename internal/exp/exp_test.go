@@ -43,7 +43,7 @@ func TestIDsComplete(t *testing.T) {
 		"sec6c-ilp", "sec6c-anneal", "sec6c-graph", "sec6c-gmon", "sec6c-bank",
 		"ablation-trades", "ablation-gmon-ways", "ablation-chunk",
 		"ext-numa", "ext-monitor", "ext-noc", "ext-phases", "ext-hwsim",
-		"ext-scaling",
+		"ext-scaling", "ext-scaling-mt",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

@@ -38,11 +38,12 @@ type Arena struct {
 	claims  Assignment
 
 	// GreedyIn.
-	free   []float64
-	gOrder []mesh.Tile
-	gCur   []int
-	gRem   []float64
-	assign Assignment
+	free    []float64
+	gOrder  []mesh.Tile
+	gOrders [][]mesh.Tile
+	gCur    []int
+	gRem    []float64
+	assign  Assignment
 
 	// RefineIn.
 	used       []float64
@@ -152,6 +153,16 @@ func (a *Arena) AppendDemand(ds []Demand, size float64, accessors map[int]float6
 		a.accRate = append(a.accRate, accessors[t])
 	}
 	ds = append(ds, Demand{Size: size, Threads: seg, Rates: a.accRate[start:]})
+	a.demands = ds
+	return ds
+}
+
+// AppendDemandSorted appends a Demand that aliases caller-owned accessor
+// slices already sorted by ascending thread id — a sealed mix's dense views
+// fit directly. Nothing is copied; the caller must keep the slices alive and
+// unmutated for the demand's lifetime (placement only reads them).
+func (a *Arena) AppendDemandSorted(ds []Demand, size float64, ids []int, rates []float64) []Demand {
+	ds = append(ds, Demand{Size: size, Threads: ids, Rates: rates})
 	a.demands = ds
 	return ds
 }

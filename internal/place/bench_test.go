@@ -142,11 +142,11 @@ func pipelineInstance(w, h int) (Chip, []Demand, []mesh.Tile) {
 
 // BenchmarkPlacePipeline runs the full steps-2-4 pipeline (optimistic VC
 // placement, thread placement, greedy data placement, one refine pass) on
-// one reused arena, at the paper's 8×8 scale and at the 24×24 and 32×32
-// scaling points. allocs/op is the headline number: after warm-up the
-// pipeline must not allocate.
+// one reused arena, at the paper's 8×8 scale, the 24×24 and 32×32 scaling
+// points, and the 64×64 (stride-4 lattice) kilo-tile frontier. allocs/op is
+// the headline number: after warm-up the pipeline must not allocate.
 func BenchmarkPlacePipeline(b *testing.B) {
-	for _, dims := range [][2]int{{8, 8}, {24, 24}, {32, 32}} {
+	for _, dims := range [][2]int{{8, 8}, {24, 24}, {32, 32}, {64, 64}} {
 		b.Run(fmt.Sprintf("%dx%d", dims[0], dims[1]), func(b *testing.B) {
 			chip, demands, _ := pipelineInstance(dims[0], dims[1])
 			ar := NewArena()

@@ -494,17 +494,24 @@ func assignEqual(t *testing.T, label string, ref refAssignment, got Assignment) 
 }
 
 // TestDenseMatchesMapReference is the bit-identity property: across
-// randomized demands from the paper's 8×8 up to 32×32 (past PruneThreshold),
-// the dense pipeline — optimistic placement, thread placement, greedy,
-// refine — produces exactly the reference's placements, and the Eq. 2 hop
-// reductions are bit-equal floats, not approximately equal.
+// randomized demands from the paper's 8×8 up to 64×64 (past PruneThreshold
+// and through every lattice-stride regime), the dense pipeline — optimistic
+// placement, thread placement, greedy, refine — produces exactly the
+// reference's placements, and the Eq. 2 hop reductions are bit-equal
+// floats, not approximately equal.
 func TestDenseMatchesMapReference(t *testing.T) {
-	dims := [][2]int{{8, 8}, {16, 16}, {24, 24}, {32, 32}}
+	dims := [][2]int{{8, 8}, {16, 16}, {24, 24}, {32, 32}, {48, 48}, {64, 64}}
 	for _, wh := range dims {
 		w, h := wh[0], wh[1]
 		trials := 6
 		if w*h > 256 {
 			trials = 2 // the 24×24/32×32 points are slow; two trials suffice
+		}
+		if w*h > 1024 {
+			if testing.Short() {
+				continue
+			}
+			trials = 1 // kilo-tile references are very slow; one trial each
 		}
 		t.Run(fmt.Sprintf("%dx%d", w, h), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(301 + w)))

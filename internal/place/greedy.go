@@ -21,7 +21,6 @@ func GreedyIn(ar *Arena, chip Chip, demands []Demand, threadCore []mesh.Tile, ch
 	if chunk <= 0 {
 		chunk = chip.BankLines / 16
 	}
-	dist := VCDistancesIn(ar, chip, demands, threadCore)
 	nb := chip.Banks()
 	assign := arenaAssignment(&ar.assign, len(demands), nb)
 	free := grow(&ar.free, nb)
@@ -29,18 +28,57 @@ func GreedyIn(ar *Arena, chip Chip, demands []Demand, threadCore []mesh.Tile, ch
 		free[i] = chip.BankLines
 	}
 
-	// Per-VC bank preference order and a cursor over it, in flat arena
-	// buffers.
-	orderFlat := grow(&ar.gOrder, len(demands)*nb)
+	// Per-VC bank preference order and a cursor over it. Two kinds of rows:
+	//
+	//   - A VC whose preference order is distance from a single tile — one
+	//     accessor with positive rate (sort key rate·distance orders exactly
+	//     like distance), or no access at all (the VCDistances center-tile
+	//     convention) — reuses the topology's precomputed ByDistance row.
+	//     Both sorts share the ascending-tile-index tie-break, so the row is
+	//     the very permutation SortStableFunc would produce: bit-identical
+	//     placements, no per-VC O(nb log nb) sort, no distance row at all.
+	//     On single-threaded mixes this covers every VC, which is what lets
+	//     64×64 sweep cells through the greedy step at full speed.
+	//
+	//   - Multi-accessor VCs sort a flat arena region by their weighted
+	//     distance row, as before.
+	orders := grow(&ar.gOrders, len(demands))
+	byDistance := func(v int) []mesh.Tile {
+		d := &demands[v]
+		if len(d.Threads) == 1 && d.Rates[0] > 0 {
+			return chip.Topo.ByDistance(threadCore[d.Threads[0]])
+		}
+		if d.TotalRate() == 0 {
+			return chip.Topo.ByDistance(chip.Topo.CenterTile())
+		}
+		return nil
+	}
+	nSorted := 0
+	for v := range demands {
+		if byDistance(v) == nil {
+			nSorted++
+		}
+	}
+	var dist [][]float64
+	if nSorted > 0 {
+		dist = VCDistancesIn(ar, chip, demands, threadCore)
+	}
+	orderFlat := grow(&ar.gOrder, nSorted*nb)
 	cursor := grow(&ar.gCur, len(demands))
 	remaining := grow(&ar.gRem, len(demands))
 	active := 0
+	slot := 0
 	for v := range demands {
 		remaining[v] = demands[v].Size
 		if demands[v].Size > 0 {
 			active++
 		}
-		order := orderFlat[v*nb : (v+1)*nb]
+		if row := byDistance(v); row != nil {
+			orders[v] = row
+			continue
+		}
+		order := orderFlat[slot*nb : (slot+1)*nb]
+		slot++
 		for b := range order {
 			order[b] = mesh.Tile(b)
 		}
@@ -54,6 +92,7 @@ func GreedyIn(ar *Arena, chip Chip, demands []Demand, threadCore []mesh.Tile, ch
 			}
 			return int(x) - int(y)
 		})
+		orders[v] = order
 	}
 
 	for active > 0 {
@@ -62,7 +101,7 @@ func GreedyIn(ar *Arena, chip Chip, demands []Demand, threadCore []mesh.Tile, ch
 			if remaining[v] <= 1e-9 {
 				continue
 			}
-			order := orderFlat[v*nb : (v+1)*nb]
+			order := orders[v]
 			// Advance to a bank with free space.
 			for cursor[v] < len(order) && free[order[cursor[v]]] <= 1e-9 {
 				cursor[v]++

@@ -58,26 +58,38 @@ func TestBestCenterPrunedUncontendedIsChipCenter(t *testing.T) {
 func TestBestCenterPrunedNearOptimal(t *testing.T) {
 	// The pruned search is a heuristic above threshold, but on smooth
 	// contention surfaces it should land within a small factor of the
-	// exhaustive optimum's contention.
-	rng := rand.New(rand.NewSource(7))
-	chip := Chip{Topo: mesh.New(32, 32), BankLines: 8192}
-	for trial := 0; trial < 10; trial++ {
-		claimed := make([]float64, chip.Banks())
-		// A few hot regions of claimed capacity, decaying with distance.
-		for hot := 0; hot < 4; hot++ {
-			c := mesh.Tile(rng.Intn(chip.Banks()))
-			for _, b := range chip.Topo.ByDistance(c)[:chip.Topo.WithinCount(c, 6)] {
-				claimed[b] += chip.BankLines / float64(1+chip.Topo.Distance(c, b))
+	// exhaustive optimum's contention — including in the stride-2 (32×32),
+	// stride-3 (48×48) and stride-4 (64×64) lattice regimes.
+	cases := []struct {
+		w, h, trials int
+	}{
+		{32, 32, 10},
+		{48, 48, 3},
+		{64, 64, 3},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("%dx%d", c.w, c.h), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			chip := Chip{Topo: mesh.New(c.w, c.h), BankLines: 8192}
+			for trial := 0; trial < c.trials; trial++ {
+				claimed := make([]float64, chip.Banks())
+				// A few hot regions of claimed capacity, decaying with distance.
+				for hot := 0; hot < 4; hot++ {
+					ct := mesh.Tile(rng.Intn(chip.Banks()))
+					for _, b := range chip.Topo.ByDistance(ct)[:chip.Topo.WithinCount(ct, 6)] {
+						claimed[b] += chip.BankLines / float64(1+chip.Topo.Distance(ct, b))
+					}
+				}
+				size := 5 * chip.BankLines
+				pruned := bestCenter(chip, claimed, size)
+				exact := exhaustiveBestCenter(chip, claimed, size)
+				pc := footprintContention(chip, claimed, pruned, size)
+				ec := footprintContention(chip, claimed, exact, size)
+				if pc > ec+chip.BankLines {
+					t.Errorf("trial %d: pruned contention %.0f far above exhaustive %.0f", trial, pc, ec)
+				}
 			}
-		}
-		size := 5 * chip.BankLines
-		pruned := bestCenter(chip, claimed, size)
-		exact := exhaustiveBestCenter(chip, claimed, size)
-		pc := footprintContention(chip, claimed, pruned, size)
-		ec := footprintContention(chip, claimed, exact, size)
-		if pc > ec+chip.BankLines {
-			t.Errorf("trial %d: pruned contention %.0f far above exhaustive %.0f", trial, pc, ec)
-		}
+		})
 	}
 }
 

@@ -145,7 +145,7 @@ type Sched struct {
 // Sched built with a non-nil arena borrows its memory and stays valid only
 // until the arena's next Build.
 type Arena struct {
-	place   place.Arena
+	core    core.Arena
 	order   []int
 	threads []mesh.Tile
 	keys    []int
@@ -265,7 +265,7 @@ func buildPartitioned(ar *Arena, env Env, s Scheme, mix *workload.Mix, fixed []m
 		BankGranular: s.BankGranular,
 		Feats:        feats,
 	}
-	res, err := core.ReconfigureWith(cfg, mix, fixed, &ar.place)
+	res, err := core.ReconfigureWith(cfg, mix, fixed, &ar.core)
 	if err != nil {
 		return Sched{}, err
 	}

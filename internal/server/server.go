@@ -27,6 +27,7 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	netpprof "net/http/pprof"
 	"runtime"
 	"strings"
 	"sync"
@@ -62,6 +63,14 @@ type Options struct {
 	// SimParallelism caps each job's engine workers; 0 means GOMAXPROCS.
 	// Results are bit-identical for any value.
 	SimParallelism int
+	// Pprof mounts net/http/pprof profiling endpoints under /debug/pprof/.
+	// Off by default so the standard deployment exposes no introspection
+	// surface; with it on, hot-path investigations (placement, cache tiers)
+	// start from a CPU/heap profile instead of a guess:
+	//
+	//	go tool pprof http://HOST/debug/pprof/profile?seconds=30
+	//	go tool pprof http://HOST/debug/pprof/heap
+	Pprof bool
 }
 
 // DefaultCacheDiskBytes is the disk-tier cap when CacheDir is set without
@@ -181,6 +190,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	}
 	return mux
 }
 

@@ -369,3 +369,37 @@ func TestJobSSEStream(t *testing.T) {
 		t.Fatalf("event sequence = %v, want job ... done", events)
 	}
 }
+
+// TestPprofMountedOnlyWhenEnabled pins the -pprof contract: the profiling
+// endpoints exist exactly when Options.Pprof is set. The default server must
+// expose no introspection surface (404, with the API still up), and the
+// opt-in server must serve the pprof index and sub-handlers.
+func TestPprofMountedOnlyWhenEnabled(t *testing.T) {
+	paths := []string{
+		"/debug/pprof/",
+		"/debug/pprof/cmdline",
+		"/debug/pprof/symbol",
+	}
+
+	_, off := testServer(t, Options{})
+	for _, p := range paths {
+		if w := do(off, "GET", p, ""); w.Code != http.StatusNotFound {
+			t.Errorf("Pprof off: GET %s -> %d, want 404", p, w.Code)
+		}
+	}
+
+	_, on := testServer(t, Options{Pprof: true})
+	for _, p := range paths {
+		if w := do(on, "GET", p, ""); w.Code != http.StatusOK {
+			t.Errorf("Pprof on: GET %s -> %d, want 200 (body: %s)", p, w.Code, w.Body)
+		}
+	}
+	// The index actually is the pprof page, not some other 200.
+	if w := do(on, "GET", "/debug/pprof/", ""); !strings.Contains(w.Body.String(), "goroutine") {
+		t.Errorf("pprof index does not look like a profile listing: %q", w.Body)
+	}
+	// Mounting pprof must not displace the API routes.
+	if w := do(on, "GET", "/healthz", ""); w.Code != http.StatusOK {
+		t.Errorf("Pprof on: /healthz -> %d, want 200", w.Code)
+	}
+}

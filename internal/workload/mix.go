@@ -43,12 +43,23 @@ type VC struct {
 	MissRatio curves.Curve
 	// Accessors maps thread index to that thread's APKI into this VC.
 	Accessors map[int]float64
+
+	// Dense sealed views (ascending thread id); nil until Mix.Seal.
+	accIDs   []int
+	accRates []float64
 }
 
 // TotalAPKI sums access intensity over all accessor threads (in thread-id
-// order, so the floating-point sum is reproducible run to run).
+// order, so the floating-point sum is reproducible run to run). Sealed mixes
+// sum the dense view — same values, same order, no map walk.
 func (v *VC) TotalAPKI() float64 {
 	sum := 0.0
+	if v.accIDs != nil {
+		for _, r := range v.accRates {
+			sum += r
+		}
+		return sum
+	}
 	for _, t := range slices.Sorted(maps.Keys(v.Accessors)) {
 		sum += v.Accessors[t]
 	}
@@ -68,12 +79,23 @@ type Thread struct {
 	MLP     float64
 	// Access maps VC id to APKI.
 	Access map[int]float64
+
+	// Dense sealed views (ascending VC id); nil until Mix.Seal.
+	vcIDs   []int
+	vcRates []float64
 }
 
 // TotalAPKI sums the thread's access intensity over all VCs (in VC-id order,
-// so the floating-point sum is reproducible run to run).
+// so the floating-point sum is reproducible run to run). Sealed mixes sum
+// the dense view — same values, same order, no map walk.
 func (t *Thread) TotalAPKI() float64 {
 	sum := 0.0
+	if t.vcIDs != nil {
+		for _, r := range t.vcRates {
+			sum += r
+		}
+		return sum
+	}
 	for _, v := range slices.Sorted(maps.Keys(t.Access)) {
 		sum += t.Access[v]
 	}
@@ -103,6 +125,7 @@ type Mix struct {
 	VCs     []VC
 
 	counts map[string]int // instances per bench name, for naming
+	sealed bool           // dense views materialized (see Seal)
 }
 
 // NewMix returns an empty mix.
@@ -112,6 +135,7 @@ func NewMix() *Mix {
 
 // AddST appends a single-threaded app instance: one thread, one private VC.
 func (m *Mix) AddST(p *Profile) *Mix {
+	m.unseal()
 	m.counts[p.Name]++
 	name := fmt.Sprintf("%s#%d", p.Name, m.counts[p.Name])
 	proc := len(m.Procs)
@@ -138,6 +162,7 @@ func (m *Mix) AddST(p *Profile) *Mix {
 // AddMT appends a multithreaded app instance: p.Threads threads, one private
 // VC per thread, and one shared VC accessed by all of them.
 func (m *Mix) AddMT(p *MTProfile) *Mix {
+	m.unseal()
 	m.counts[p.Name]++
 	name := fmt.Sprintf("%s#%d", p.Name, m.counts[p.Name])
 	proc := len(m.Procs)
@@ -217,6 +242,7 @@ func RandomST(rng *rand.Rand, profiles []*Profile, n int) *Mix {
 	for i := 0; i < n; i++ {
 		m.AddST(profiles[rng.Intn(len(profiles))])
 	}
+	m.Seal()
 	return m
 }
 
@@ -227,6 +253,7 @@ func RandomMT(rng *rand.Rand, profiles []*MTProfile, n int) *Mix {
 	for i := 0; i < n; i++ {
 		m.AddMT(profiles[rng.Intn(len(profiles))])
 	}
+	m.Seal()
 	return m
 }
 
@@ -245,6 +272,7 @@ func CaseStudy() *Mix {
 	for i := 0; i < 2; i++ {
 		m.AddMT(MTByName(omp, "ilbdc"))
 	}
+	m.Seal()
 	return m
 }
 
@@ -256,5 +284,6 @@ func Fig16CaseStudy() *Mix {
 	for _, name := range []string{"mgrid", "md", "ilbdc", "nab"} {
 		m.AddMT(MTByName(omp, name))
 	}
+	m.Seal()
 	return m
 }

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"maps"
+	"slices"
+)
+
+// Seal materializes dense, sorted accessor views for every VC and thread in
+// the mix, backed by four flat arrays (two allocations each for ids and
+// rates). The views list the same (id, rate) pairs as the Accessors/Access
+// maps in ascending-id order — exactly the iteration order the simulator's
+// deterministic reductions already use — so every consumer that switches to
+// the dense path produces bit-identical results while skipping the per-round
+// map-key sort and map lookups.
+//
+// Seal is idempotent. It must only be called from single-threaded code (mix
+// generators and materialization points); the dense views are then safe for
+// concurrent readers, like the rest of an immutable Mix. Any later AddST or
+// AddMT unseals the mix, dropping all dense views.
+func (m *Mix) Seal() {
+	if m.sealed {
+		return
+	}
+	edges := 0
+	for i := range m.VCs {
+		edges += len(m.VCs[i].Accessors)
+	}
+	vcIDs := make([]int, 0, edges)
+	vcRates := make([]float64, 0, edges)
+	for i := range m.VCs {
+		v := &m.VCs[i]
+		lo := len(vcIDs)
+		for _, t := range slices.Sorted(maps.Keys(v.Accessors)) {
+			vcIDs = append(vcIDs, t)
+			vcRates = append(vcRates, v.Accessors[t])
+		}
+		v.accIDs = vcIDs[lo:len(vcIDs):len(vcIDs)]
+		v.accRates = vcRates[lo:len(vcRates):len(vcRates)]
+	}
+	thIDs := make([]int, 0, edges)
+	thRates := make([]float64, 0, edges)
+	for i := range m.Threads {
+		t := &m.Threads[i]
+		lo := len(thIDs)
+		for _, v := range slices.Sorted(maps.Keys(t.Access)) {
+			thIDs = append(thIDs, v)
+			thRates = append(thRates, t.Access[v])
+		}
+		t.vcIDs = thIDs[lo:len(thIDs):len(thIDs)]
+		t.vcRates = thRates[lo:len(thRates):len(thRates)]
+	}
+	m.sealed = true
+}
+
+// Sealed reports whether dense views are materialized.
+func (m *Mix) Sealed() bool { return m.sealed }
+
+// unseal drops every dense view; Add methods call it so stale views can
+// never outlive a mutation.
+func (m *Mix) unseal() {
+	if !m.sealed {
+		return
+	}
+	for i := range m.VCs {
+		m.VCs[i].accIDs, m.VCs[i].accRates = nil, nil
+	}
+	for i := range m.Threads {
+		m.Threads[i].vcIDs, m.Threads[i].vcRates = nil, nil
+	}
+	m.sealed = false
+}
+
+// DenseAccessors returns the VC's accessor threads and rates in ascending
+// thread-id order, or nil slices when the mix is unsealed. Callers must not
+// mutate the returned slices; they alias the mix's sealed backing.
+func (v *VC) DenseAccessors() (ids []int, rates []float64) {
+	return v.accIDs, v.accRates
+}
+
+// DenseAccess returns the thread's VC ids and rates in ascending VC-id
+// order, or nil slices when the mix is unsealed. Callers must not mutate the
+// returned slices.
+func (t *Thread) DenseAccess() (ids []int, rates []float64) {
+	return t.vcIDs, t.vcRates
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"maps"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// checkDense verifies every dense view lists the map edges in ascending-id
+// order with identical rates.
+func checkDense(t *testing.T, m *Mix) {
+	t.Helper()
+	if !m.Sealed() {
+		t.Fatal("mix is not sealed")
+	}
+	for i := range m.VCs {
+		v := &m.VCs[i]
+		ids, rates := v.DenseAccessors()
+		if ids == nil || rates == nil {
+			t.Fatalf("VC %d: nil dense view on sealed mix", v.ID)
+		}
+		want := slices.Sorted(maps.Keys(v.Accessors))
+		if !slices.Equal(ids, want) {
+			t.Fatalf("VC %d: dense ids %v, want %v", v.ID, ids, want)
+		}
+		for k, tid := range ids {
+			if rates[k] != v.Accessors[tid] {
+				t.Fatalf("VC %d: rate for thread %d is %g, map says %g", v.ID, tid, rates[k], v.Accessors[tid])
+			}
+		}
+	}
+	for i := range m.Threads {
+		th := &m.Threads[i]
+		ids, rates := th.DenseAccess()
+		if ids == nil || rates == nil {
+			t.Fatalf("thread %d: nil dense view on sealed mix", th.ID)
+		}
+		want := slices.Sorted(maps.Keys(th.Access))
+		if !slices.Equal(ids, want) {
+			t.Fatalf("thread %d: dense ids %v, want %v", th.ID, ids, want)
+		}
+		for k, vid := range ids {
+			if rates[k] != th.Access[vid] {
+				t.Fatalf("thread %d: rate for VC %d is %g, map says %g", th.ID, vid, rates[k], th.Access[vid])
+			}
+		}
+	}
+}
+
+func TestSealDenseViewsMatchMaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, m := range []*Mix{
+		RandomST(rng, SPECCPU(), 16),
+		RandomMT(rng, SPECOMP(), 4),
+		CaseStudy(),
+		Fig16CaseStudy(),
+	} {
+		checkDense(t, m)
+	}
+}
+
+func TestSealTotalAPKIBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := RandomMT(rng, SPECOMP(), 4)
+	sealed := make([]float64, len(m.VCs))
+	sealedTh := make([]float64, len(m.Threads))
+	for i := range m.VCs {
+		sealed[i] = m.VCs[i].TotalAPKI()
+	}
+	for i := range m.Threads {
+		sealedTh[i] = m.Threads[i].TotalAPKI()
+	}
+	// Unseal by mutating, then compare the map-path sums bit for bit.
+	m.AddST(SPECCPU()[0])
+	if m.Sealed() {
+		t.Fatal("AddST did not unseal the mix")
+	}
+	for i := range sealed {
+		if got := m.VCs[i].TotalAPKI(); got != sealed[i] {
+			t.Fatalf("VC %d: dense TotalAPKI %g != map TotalAPKI %g", i, sealed[i], got)
+		}
+	}
+	for i := range sealedTh {
+		if got := m.Threads[i].TotalAPKI(); got != sealedTh[i] {
+			t.Fatalf("thread %d: dense TotalAPKI %g != map TotalAPKI %g", i, sealedTh[i], got)
+		}
+	}
+}
+
+func TestSealIdempotentAndUnseal(t *testing.T) {
+	m := NewMix()
+	m.AddST(SPECCPU()[0])
+	m.Seal()
+	ids1, _ := m.VCs[0].DenseAccessors()
+	m.Seal() // idempotent: must not rebuild
+	ids2, _ := m.VCs[0].DenseAccessors()
+	if &ids1[0] != &ids2[0] {
+		t.Fatal("second Seal rebuilt dense views")
+	}
+	m.AddST(SPECCPU()[1])
+	if ids, rates := m.VCs[0].DenseAccessors(); ids != nil || rates != nil {
+		t.Fatal("unseal left stale dense views")
+	}
+	m.Seal()
+	checkDense(t, m)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -117,7 +118,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
 		return 1
 	}
-	return gate(base, parsed, *bench, *maxRegress)
+	return gate(os.Stderr, base, parsed, *bench, *maxRegress)
 }
 
 // parse extracts benchmark lines and environment headers.
@@ -203,8 +204,8 @@ var gatedMetrics = []string{"B/op", "allocs/op"}
 
 // gate compares current against base for benchmarks matching the prefix and
 // returns 1 if any shared sub-benchmark regressed beyond maxRegress in
-// ns/op or in a gated metric both sides recorded.
-func gate(base, cur *File, prefix string, maxRegress float64) int {
+// ns/op or in a gated metric both sides recorded. Diagnostics go to w.
+func gate(w io.Writer, base, cur *File, prefix string, maxRegress float64) int {
 	curByName := map[string]Benchmark{}
 	for _, b := range cur.Benchmarks {
 		curByName[b.Name] = b
@@ -217,7 +218,7 @@ func gate(base, cur *File, prefix string, maxRegress float64) int {
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: baseline has no benchmarks matching %q\n", prefix)
+		fmt.Fprintf(w, "benchjson: baseline has no benchmarks matching %q\n", prefix)
 		return 1
 	}
 
@@ -225,6 +226,25 @@ func gate(base, cur *File, prefix string, maxRegress float64) int {
 	for _, b := range base.Benchmarks {
 		baseByName[b.Name] = b
 	}
+
+	// The reverse direction: a benchmark in the current run that matches the
+	// gate prefix but has no baseline entry is not gated at all. That happens
+	// silently when coverage grows (a new sub-benchmark or bench target) and
+	// the baseline is not refreshed — warn loudly so ungated hot paths are
+	// visible in the CI log instead of quietly unprotected.
+	var ungated []string
+	for _, b := range cur.Benchmarks {
+		if strings.HasPrefix(b.Name, prefix) {
+			if _, ok := baseByName[b.Name]; !ok {
+				ungated = append(ungated, b.Name)
+			}
+		}
+	}
+	sort.Strings(ungated)
+	for _, name := range ungated {
+		fmt.Fprintf(w, "benchjson: WARNING: %-36s matches %q but has NO BASELINE entry — ungated; refresh the baseline\n", name, prefix)
+	}
+
 	failed, compared := 0, 0
 	check := func(name, unit string, baseV, curV float64) {
 		ratio := curV / baseV
@@ -233,7 +253,7 @@ func gate(base, cur *File, prefix string, maxRegress float64) int {
 			verdict = fmt.Sprintf("REGRESSION > %+.0f%%", maxRegress*100)
 			failed++
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: %-45s base %14.0f %-9s now %14.0f (%+.1f%%) %s\n",
+		fmt.Fprintf(w, "benchjson: %-45s base %14.0f %-9s now %14.0f (%+.1f%%) %s\n",
 			name, baseV, unit+",", curV, (ratio-1)*100, verdict)
 	}
 	for _, name := range names {
@@ -242,11 +262,11 @@ func gate(base, cur *File, prefix string, maxRegress float64) int {
 		if !ok {
 			// Core-count-specific variants (e.g. j=16) legitimately differ
 			// across machines; report and move on.
-			fmt.Fprintf(os.Stderr, "benchjson: %-45s not in current run, skipped\n", name)
+			fmt.Fprintf(w, "benchjson: %-45s not in current run, skipped\n", name)
 			continue
 		}
 		if bb.NsPerOp <= 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: %-45s baseline has no ns/op, skipped\n", name)
+			fmt.Fprintf(w, "benchjson: %-45s baseline has no ns/op, skipped\n", name)
 			continue
 		}
 		compared++
@@ -261,7 +281,7 @@ func gate(base, cur *File, prefix string, maxRegress float64) int {
 				// The baseline gates this metric but the current run did not
 				// record it — that disables the gate (e.g. -benchmem dropped
 				// from the CI command), which must fail loudly, not warn.
-				fmt.Fprintf(os.Stderr, "benchjson: %-45s current run missing %s — run with -benchmem  FAIL\n", name, metric)
+				fmt.Fprintf(w, "benchjson: %-45s current run missing %s — run with -benchmem  FAIL\n", name, metric)
 				failed++
 				continue
 			}
@@ -273,7 +293,7 @@ func gate(base, cur *File, prefix string, maxRegress float64) int {
 					verdict = "REGRESSION from 0"
 					failed++
 				}
-				fmt.Fprintf(os.Stderr, "benchjson: %-45s base %14.0f %-9s now %14.0f %s\n",
+				fmt.Fprintf(w, "benchjson: %-45s base %14.0f %-9s now %14.0f %s\n",
 					name, baseV, metric+",", curV, verdict)
 				continue
 			}
@@ -281,15 +301,15 @@ func gate(base, cur *File, prefix string, maxRegress float64) int {
 		}
 	}
 	if compared == 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: no shared sub-benchmarks matching %q to compare\n", prefix)
+		fmt.Fprintf(w, "benchjson: no shared sub-benchmarks matching %q to compare\n", prefix)
 		return 1
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: %d regressions beyond %.0f%% across %d gated benchmarks\n",
+		fmt.Fprintf(w, "benchjson: %d regressions beyond %.0f%% across %d gated benchmarks\n",
 			failed, maxRegress*100, compared)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: all %d gated benchmarks within %.0f%% of baseline (ns/op, B/op, allocs/op)\n",
+	fmt.Fprintf(w, "benchjson: all %d gated benchmarks within %.0f%% of baseline (ns/op, B/op, allocs/op)\n",
 		compared, maxRegress*100)
 	return 0
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"io"
 	"strings"
 	"testing"
 )
@@ -94,14 +95,14 @@ func gateFiles(baseNs, curNs float64) (*File, *File) {
 
 func TestGateWithinBudgetPasses(t *testing.T) {
 	base, cur := gateFiles(1000, 1100) // +10% < 20%
-	if code := gate(base, cur, "BenchmarkCampaignParallel", 0.20); code != 0 {
+	if code := gate(io.Discard, base, cur, "BenchmarkCampaignParallel", 0.20); code != 0 {
 		t.Errorf("gate failed a +10%% run: exit %d", code)
 	}
 }
 
 func TestGateRegressionFails(t *testing.T) {
 	base, cur := gateFiles(1000, 1300) // +30% > 20%
-	if code := gate(base, cur, "BenchmarkCampaignParallel", 0.20); code != 1 {
+	if code := gate(io.Discard, base, cur, "BenchmarkCampaignParallel", 0.20); code != 1 {
 		t.Errorf("gate passed a +30%% regression: exit %d", code)
 	}
 }
@@ -109,14 +110,14 @@ func TestGateRegressionFails(t *testing.T) {
 func TestGateSkipsMissingSubBenchmarks(t *testing.T) {
 	base, cur := gateFiles(1000, 1000)
 	base.Benchmarks = append(base.Benchmarks, Benchmark{Name: "BenchmarkCampaignParallel/j=16", NsPerOp: 500})
-	if code := gate(base, cur, "BenchmarkCampaignParallel", 0.20); code != 0 {
+	if code := gate(io.Discard, base, cur, "BenchmarkCampaignParallel", 0.20); code != 0 {
 		t.Errorf("gate failed on a baseline-only sub-benchmark: exit %d", code)
 	}
 }
 
 func TestGateNoMatchingBaselineFails(t *testing.T) {
 	base, cur := gateFiles(1000, 1000)
-	if code := gate(base, cur, "BenchmarkNoSuch", 0.20); code != 1 {
+	if code := gate(io.Discard, base, cur, "BenchmarkNoSuch", 0.20); code != 1 {
 		t.Errorf("gate passed with no matching baseline benchmarks: exit %d", code)
 	}
 }
@@ -132,7 +133,7 @@ func TestGateAllocRegressionFails(t *testing.T) {
 	base, cur := gateFiles(1000, 1000)
 	withMetrics(base, 1000, 100)
 	withMetrics(cur, 1000, 150)
-	if code := gate(base, cur, "BenchmarkCampaignParallel", 0.20); code != 1 {
+	if code := gate(io.Discard, base, cur, "BenchmarkCampaignParallel", 0.20); code != 1 {
 		t.Errorf("gate passed a +50%% allocs/op regression: exit %d", code)
 	}
 }
@@ -141,7 +142,7 @@ func TestGateBytesRegressionFails(t *testing.T) {
 	base, cur := gateFiles(1000, 1000)
 	withMetrics(base, 1000, 100)
 	withMetrics(cur, 1300, 100) // B/op +30%
-	if code := gate(base, cur, "BenchmarkCampaignParallel", 0.20); code != 1 {
+	if code := gate(io.Discard, base, cur, "BenchmarkCampaignParallel", 0.20); code != 1 {
 		t.Errorf("gate passed a +30%% B/op regression: exit %d", code)
 	}
 }
@@ -150,7 +151,7 @@ func TestGateMetricsWithinBudgetPass(t *testing.T) {
 	base, cur := gateFiles(1000, 1100)
 	withMetrics(base, 1000, 100)
 	withMetrics(cur, 1100, 110) // everything +10% < 20%
-	if code := gate(base, cur, "BenchmarkCampaignParallel", 0.20); code != 0 {
+	if code := gate(io.Discard, base, cur, "BenchmarkCampaignParallel", 0.20); code != 0 {
 		t.Errorf("gate failed a +10%% run with metrics: exit %d", code)
 	}
 }
@@ -160,7 +161,7 @@ func TestGateSkipsMetricsAbsentFromBaseline(t *testing.T) {
 	// even when the current run would look like a huge memory regression.
 	base, cur := gateFiles(1000, 1000)
 	withMetrics(cur, 999999, 999999)
-	if code := gate(base, cur, "BenchmarkCampaignParallel", 0.20); code != 0 {
+	if code := gate(io.Discard, base, cur, "BenchmarkCampaignParallel", 0.20); code != 0 {
 		t.Errorf("gate failed on metrics the baseline never recorded: exit %d", code)
 	}
 }
@@ -171,8 +172,33 @@ func TestGateFailsWhenCurrentMissesGatedMetric(t *testing.T) {
 	// so it must fail, not warn.
 	base, cur := gateFiles(1000, 1000)
 	withMetrics(base, 1000, 100)
-	if code := gate(base, cur, "BenchmarkCampaignParallel", 0.20); code != 1 {
+	if code := gate(io.Discard, base, cur, "BenchmarkCampaignParallel", 0.20); code != 1 {
 		t.Errorf("gate passed a run missing gated metrics: exit %d", code)
+	}
+}
+
+func TestGateWarnsOnUngatedNewBenchmarks(t *testing.T) {
+	// A current-run benchmark matching the prefix with no baseline entry is
+	// ungated: the gate must still pass (new coverage is not a regression)
+	// but warn loudly so the baseline gets refreshed.
+	base, cur := gateFiles(1000, 1000)
+	cur.Benchmarks = append(cur.Benchmarks,
+		Benchmark{Name: "BenchmarkCampaignParallel/j=4", NsPerOp: 999, Runs: 5})
+	var log strings.Builder
+	if code := gate(&log, base, cur, "BenchmarkCampaignParallel", 0.20); code != 0 {
+		t.Errorf("gate failed on an added benchmark: exit %d", code)
+	}
+	out := log.String()
+	if !strings.Contains(out, "WARNING") || !strings.Contains(out, "BenchmarkCampaignParallel/j=4") ||
+		!strings.Contains(out, "NO BASELINE") {
+		t.Errorf("no loud warning for the ungated benchmark; log:\n%s", out)
+	}
+	// Benchmarks outside the prefix stay silent.
+	cur.Benchmarks = append(cur.Benchmarks, Benchmark{Name: "BenchmarkUnrelated", NsPerOp: 1})
+	log.Reset()
+	gate(&log, base, cur, "BenchmarkCampaignParallel", 0.20)
+	if strings.Contains(log.String(), "BenchmarkUnrelated") {
+		t.Errorf("warned about a benchmark outside the gate prefix; log:\n%s", log.String())
 	}
 }
 
@@ -182,12 +208,12 @@ func TestGateZeroAllocBaselineRegression(t *testing.T) {
 	base, cur := gateFiles(1000, 1000)
 	withMetrics(base, 1000, 0)
 	withMetrics(cur, 1000, 10)
-	if code := gate(base, cur, "BenchmarkCampaignParallel", 0.20); code != 1 {
+	if code := gate(io.Discard, base, cur, "BenchmarkCampaignParallel", 0.20); code != 1 {
 		t.Errorf("gate passed a regression from 0 allocs/op: exit %d", code)
 	}
 	// Staying at zero passes.
 	withMetrics(cur, 1000, 0)
-	if code := gate(base, cur, "BenchmarkCampaignParallel", 0.20); code != 0 {
+	if code := gate(io.Discard, base, cur, "BenchmarkCampaignParallel", 0.20); code != 0 {
 		t.Errorf("gate failed an alloc-free run against an alloc-free baseline: exit %d", code)
 	}
 }

@@ -17,8 +17,10 @@ import (
 )
 
 // MaxSweepTiles caps the mesh axis: no sweep cell may model more than a
-// 32×32 chip (the largest mesh the pruned placement search is tuned for).
-const MaxSweepTiles = 1024
+// 64×64 chip. The pruned placement search coarsens its candidate lattice
+// (stride 4 at 4096 banks) and the reconfiguration pipeline runs its arena
+// hot path there, so kilo-tile cells complete in interactive time.
+const MaxSweepTiles = 4096
 
 // MaxSweepCells caps a sweep's expanded grid so a mistyped axis cannot
 // request millions of simulations.

@@ -33,7 +33,7 @@ func TestSweepValidation(t *testing.T) {
 	for name, req := range map[string]SweepRequest{
 		"no mixes":       {},
 		"bad mesh":       {Mesh: []MeshSize{{0, 4}}, Mixes: []MixSpec{{Kind: MixCaseStudy}}},
-		"oversize mesh":  {Mesh: []MeshSize{{33, 33}}, Mixes: []MixSpec{{Kind: MixCaseStudy}}},
+		"oversize mesh":  {Mesh: []MeshSize{{65, 65}}, Mixes: []MixSpec{{Kind: MixCaseStudy}}},
 		"bad bank":       {BankKB: []int{0}, Mixes: []MixSpec{{Kind: MixCaseStudy}}},
 		"bad latency":    {HopLatency: []float64{-1}, Mixes: []MixSpec{{Kind: MixCaseStudy}}},
 		"bad mix":        {Mixes: []MixSpec{{Kind: "nope"}}},
@@ -217,6 +217,45 @@ func TestSweepCellsMatchStandaloneCompare(t *testing.T) {
 	want, _ := json.Marshal(direct)
 	if string(got) != string(want) {
 		t.Error("sweep cell diverged from direct System.Compare")
+	}
+}
+
+func TestSweep64x64Cell(t *testing.T) {
+	// The kilo-tile frontier: a 64×64 (4096-tile, stride-4 lattice) cell
+	// must run under the raised MaxSweepTiles cap and stay byte-identical
+	// to the standalone Compare path.
+	if testing.Short() {
+		t.Skip("64x64 sweep cell is slow")
+	}
+	req := SweepRequest{
+		Mesh:    []MeshSize{{64, 64}},
+		Mixes:   []MixSpec{{Kind: MixRandom, Seed: 13, N: 64}},
+		Schemes: []string{"S-NUCA", "CDCS"},
+		Seed:    5,
+	}
+	res, err := SweepWithOptions(req, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("%d cells, want 1", len(res.Cells))
+	}
+	cell := res.Cells[0]
+	if cell.Request.Config.MeshWidth != 64 || cell.Request.Config.MeshHeight != 64 {
+		t.Fatalf("cell is %dx%d, want 64x64", cell.Request.Config.MeshWidth, cell.Request.Config.MeshHeight)
+	}
+	standalone, err := cell.Request.Run(RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := json.Marshal(cell.Comparison)
+	want, _ := json.Marshal(standalone)
+	if string(got) != string(want) {
+		t.Error("64x64 cell diverged from standalone Compare")
+	}
+	ws := cell.Comparison.WeightedSpeedup["CDCS"]
+	if ws <= 0 {
+		t.Errorf("CDCS weighted speedup %g on the 64x64 cell", ws)
 	}
 }
 
