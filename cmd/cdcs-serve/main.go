@@ -6,6 +6,12 @@
 //	cdcs-serve -cache-dir /var/cache/cdcs -cache-disk-bytes 4294967296
 //	                                 # tiered cache: results persist across
 //	                                 # restarts (warm replays simulate nothing)
+//	cdcs-serve -cache-dir /var/cache/cdcs -cache-compress
+//	                                 # disk tier stores content-defined chunks,
+//	                                 # deduplicated and DEFLATE-compressed
+//	cdcs-serve -peers http://10.0.0.2:8080,http://10.0.0.3:8080
+//	                                 # local misses fetch finished entries from
+//	                                 # sibling replicas before simulating
 //	cdcs-serve -pprof                # opt-in net/http/pprof at /debug/pprof/
 //
 //	curl -s localhost:8080/healthz
@@ -35,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,6 +58,8 @@ func run() int {
 		cache     = flag.Int("cache", 4096, "memory-tier result cache capacity in entries")
 		cacheDir  = flag.String("cache-dir", "", "directory for the persistent disk cache tier (empty = memory only)")
 		diskBytes = flag.Int64("cache-disk-bytes", server.DefaultCacheDiskBytes, "disk-tier size cap in bytes, LRU-evicted past it (requires -cache-dir; <0 = uncapped)")
+		compress  = flag.Bool("cache-compress", false, "store the disk tier chunked: content-defined chunks, SHA-256 dedup, DEFLATE compression (requires -cache-dir)")
+		peers     = flag.String("peers", "", "comma-separated sibling replica base URLs; local misses fetch entries from the fleet before simulating")
 		queue     = flag.Int("queue", 256, "job queue depth (submissions beyond it get 503)")
 		workers   = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS/2)")
 		jobs      = flag.Int("j", 0, "max parallel simulation jobs per request (0 = GOMAXPROCS)")
@@ -64,6 +73,10 @@ func run() int {
 		return 2
 	}
 	if *cacheDir == "" {
+		if *compress {
+			fmt.Fprintln(os.Stderr, "cdcs-serve: -cache-compress requires -cache-dir")
+			return 2
+		}
 		set := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "cache-disk-bytes" {
@@ -72,6 +85,21 @@ func run() int {
 		})
 		if set {
 			fmt.Fprintln(os.Stderr, "cdcs-serve: -cache-disk-bytes requires -cache-dir")
+			return 2
+		}
+		// The flag default only applies to a disk tier; without one there
+		// is no cap to pass.
+		*diskBytes = 0
+	}
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		if len(peerList) == 0 {
+			fmt.Fprintln(os.Stderr, "cdcs-serve: -peers lists no usable URLs")
 			return 2
 		}
 	}
@@ -84,6 +112,8 @@ func run() int {
 		CacheEntries:   *cache,
 		CacheDir:       *cacheDir,
 		CacheDiskBytes: *diskBytes,
+		CacheCompress:  *compress,
+		Peers:          peerList,
 		QueueDepth:     *queue,
 		Workers:        *workers,
 		JobTimeout:     jobTimeout,
@@ -96,7 +126,14 @@ func run() int {
 	}
 	defer srv.Close()
 	if *cacheDir != "" {
-		fmt.Fprintf(os.Stderr, "cdcs-serve: persistent result cache at %s\n", *cacheDir)
+		mode := "persistent"
+		if *compress {
+			mode = "chunked persistent"
+		}
+		fmt.Fprintf(os.Stderr, "cdcs-serve: %s result cache at %s\n", mode, *cacheDir)
+	}
+	if len(peerList) > 0 {
+		fmt.Fprintf(os.Stderr, "cdcs-serve: peer tier over %s\n", strings.Join(peerList, ", "))
 	}
 
 	ln, err := net.Listen("tcp", *addr)

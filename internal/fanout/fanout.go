@@ -85,7 +85,7 @@ type Options struct {
 // in-flight work is canceled.
 func Do(ctx context.Context, replicas []string, cells []Cell, opts Options) ([]Result, Stats, error) {
 	stats := Stats{Replicas: map[string]ReplicaStats{}}
-	reps := normalizeReplicas(replicas)
+	reps := NormalizeReplicas(replicas)
 	if len(reps) == 0 {
 		return nil, stats, fmt.Errorf("fanout: no replicas")
 	}
@@ -254,9 +254,12 @@ func trim(b []byte) string {
 	return s
 }
 
-// normalizeReplicas trims trailing slashes and drops empties and
-// duplicates, preserving first-seen order.
-func normalizeReplicas(replicas []string) []string {
+// NormalizeReplicas trims trailing slashes and drops empties and
+// duplicates, preserving first-seen order. Exported so everything that
+// names replicas — the sweep fan-out here, the result store's peer tier —
+// normalizes identically, which is what keeps their rendezvous rankings
+// (Rank) aligned on the same URL strings.
+func NormalizeReplicas(replicas []string) []string {
 	seen := map[string]bool{}
 	var out []string
 	for _, r := range replicas {

@@ -230,7 +230,7 @@ func TestDoProgressAndCancellation(t *testing.T) {
 }
 
 func TestNormalizeReplicas(t *testing.T) {
-	got := normalizeReplicas([]string{" http://a/ ", "", "http://a", "http://b"})
+	got := NormalizeReplicas([]string{" http://a/ ", "", "http://a", "http://b"})
 	if strings.Join(got, ",") != "http://a,http://b" {
 		t.Fatalf("normalize = %v", got)
 	}

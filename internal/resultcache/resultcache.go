@@ -172,6 +172,13 @@ func (c *Cache) Compute(ctx context.Context, key string, compute func() ([]byte,
 	return cl.val, hit, cl.err
 }
 
+// Peek is Get without the hit/miss counters. Tier compositions (see
+// internal/resultstore) use it for uncounted re-probes inside a flight whose
+// triggering lookup was already counted.
+func (c *Cache) Peek(key string) ([]byte, bool) {
+	return c.peek(key)
+}
+
 // peek is Get without counters.
 func (c *Cache) peek(key string) ([]byte, bool) {
 	s := c.shardFor(key)

@@ -1,0 +1,58 @@
+package resultstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkStoreWriteRead drives the persistent tiers through the serving
+// pattern — write a corpus of near-identical entries (neighboring sweep
+// cells), read every entry back verified — so the chunked tier's
+// split+compress+dedup cost is visible next to the whole-entry tier it
+// replaces. The stored metric reports physical occupancy per logical byte.
+func BenchmarkStoreWriteRead(b *testing.B) {
+	vals := corpus(16, 8<<10)
+	var logical int64
+	for _, v := range vals {
+		logical += int64(len(v))
+	}
+
+	run := func(b *testing.B, open func(dir string) Tier) {
+		dir := b.TempDir()
+		tier := open(dir)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j, v := range vals {
+				tier.Put(fmt.Sprintf("key-%d", j), v)
+			}
+			for j := range vals {
+				if _, ok := tier.Get(fmt.Sprintf("key-%d", j)); !ok {
+					b.Fatalf("key-%d unreadable", j)
+				}
+			}
+		}
+		b.StopTimer()
+		st := tier.Stats()
+		b.ReportMetric(float64(st.Bytes)/float64(logical), "stored/logical")
+	}
+
+	b.Run("disk", func(b *testing.B) {
+		run(b, func(dir string) Tier {
+			d, err := OpenDisk(dir, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return d
+		})
+	})
+	b.Run("chunked", func(b *testing.B) {
+		run(b, func(dir string) Tier {
+			d, err := OpenChunkedDisk(dir, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return d
+		})
+	})
+}

@@ -1,0 +1,335 @@
+package resultstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openChunked(t *testing.T, dir string, maxBytes int64) *ChunkedDisk {
+	t.Helper()
+	d, err := OpenChunkedDisk(dir, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// corpus builds near-identical payloads: a shared body with a small
+// per-entry header, the shape of neighboring sweep cells.
+func corpus(n, size int) [][]byte {
+	body := randBytes(42, size)
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = append([]byte(fmt.Sprintf("entry-%04d:", i)), body...)
+	}
+	return out
+}
+
+func TestChunkedRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	d := openChunked(t, dir, 0)
+	vals := corpus(4, 40<<10)
+	for i, v := range vals {
+		d.Put(fmt.Sprintf("k%d", i), v)
+	}
+	for i, v := range vals {
+		got, ok := d.Get(fmt.Sprintf("k%d", i))
+		if !ok || !bytes.Equal(got, v) {
+			t.Fatalf("k%d: ok=%v, bytes equal=%v", i, ok, bytes.Equal(got, v))
+		}
+	}
+	if _, ok := d.Get("absent"); ok {
+		t.Error("absent key reported present")
+	}
+	st := d.Stats()
+	if st.Entries != 4 || st.Hits != 4 || st.Misses != 1 || st.Errors != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// A fresh open over the same directory must rebuild identical
+	// accounting from the files alone and still serve every entry.
+	d2 := openChunked(t, dir, 0)
+	st2 := d2.Stats()
+	if st2.Entries != st.Entries || st2.Bytes != st.Bytes || st2.LogicalBytes != st.LogicalBytes {
+		t.Errorf("reopen accounting drifted: %+v vs %+v", st2, st)
+	}
+	if d2.Chunks() != d.Chunks() {
+		t.Errorf("reopen chunk count %d, want %d", d2.Chunks(), d.Chunks())
+	}
+	for i, v := range vals {
+		if got, ok := d2.Get(fmt.Sprintf("k%d", i)); !ok || !bytes.Equal(got, v) {
+			t.Fatalf("reopened k%d unreadable", i)
+		}
+	}
+}
+
+// TestChunkedDedupAndCompression pins the tentpole's storage win: entries
+// sharing most of their bytes share most of their chunks, so physical
+// occupancy stays far below payload volume.
+func TestChunkedDedupAndCompression(t *testing.T) {
+	d := openChunked(t, t.TempDir(), 0)
+	vals := corpus(8, 50<<10)
+	for i, v := range vals {
+		d.Put(fmt.Sprintf("k%d", i), v)
+	}
+	st := d.Stats()
+	var logical int64
+	for _, v := range vals {
+		logical += int64(len(v))
+	}
+	if st.LogicalBytes != logical {
+		t.Errorf("LogicalBytes = %d, want %d", st.LogicalBytes, logical)
+	}
+	if st.Bytes >= st.LogicalBytes/2 {
+		t.Errorf("stored %d bytes for %d logical (ratio %.2f), want ≤ 0.5 on a near-duplicate corpus",
+			st.Bytes, st.LogicalBytes, float64(st.Bytes)/float64(st.LogicalBytes))
+	}
+	// Chunk dedup, not just compression: 8 copies of one body must not
+	// store 8 copies of its chunks.
+	if perEntry := 8 * len(splitChunks(vals[0])); d.Chunks() >= perEntry {
+		t.Errorf("%d unique chunks for 8 near-identical entries (%d without dedup)", d.Chunks(), perEntry)
+	}
+
+	// Bytes must equal what is actually on disk.
+	var onDisk int64
+	err := filepath.Walk(d.Dir(), func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			onDisk += info.Size()
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bytes != onDisk {
+		t.Errorf("Stats().Bytes = %d, on-disk total = %d", st.Bytes, onDisk)
+	}
+}
+
+// TestChunkedCorruptChunkMissAndRepair mirrors Disk's corrupt-entry
+// contract at chunk granularity: a rotten chunk degrades every entry that
+// references it to a miss, counts errors, and a fresh Put repairs them.
+func TestChunkedCorruptChunkMissAndRepair(t *testing.T) {
+	dir := t.TempDir()
+	d := openChunked(t, dir, 0)
+	vals := corpus(3, 30<<10)
+	for i, v := range vals {
+		d.Put(fmt.Sprintf("k%d", i), v)
+	}
+
+	// Flip one byte in every chunk file: all entries become unservable.
+	damaged := 0
+	err := filepath.Walk(filepath.Join(dir, "c"), func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, chunkSuffix) {
+			return err
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		raw[len(raw)/2] ^= 0x40
+		damaged++
+		return os.WriteFile(path, raw, 0o644)
+	})
+	if err != nil || damaged == 0 {
+		t.Fatalf("damaged %d chunks, err=%v", damaged, err)
+	}
+
+	for i := range vals {
+		if _, ok := d.Get(fmt.Sprintf("k%d", i)); ok {
+			t.Fatalf("k%d served from corrupt chunks", i)
+		}
+	}
+	if errs := d.Stats().Errors; errs == 0 {
+		t.Error("corruption not counted in Errors")
+	}
+	if d.Len() != 0 {
+		t.Errorf("%d entries survive store-wide corruption, want 0", d.Len())
+	}
+
+	// Put repairs: the same keys round-trip again, fully verified.
+	for i, v := range vals {
+		d.Put(fmt.Sprintf("k%d", i), v)
+	}
+	for i, v := range vals {
+		if got, ok := d.Get(fmt.Sprintf("k%d", i)); !ok || !bytes.Equal(got, v) {
+			t.Fatalf("k%d not repaired by rewrite", i)
+		}
+	}
+}
+
+func TestChunkedTruncatedManifestDroppedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	d := openChunked(t, dir, 0)
+	d.Put("keep", randBytes(1, 20<<10))
+	d.Put("torn", randBytes(2, 20<<10))
+
+	// Truncate one manifest mid-frame, as a crash during write would if the
+	// write were not atomic.
+	torn := d.manifestPath(manifestName("torn"))
+	raw, err := os.ReadFile(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(torn, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := openChunked(t, dir, 0)
+	if _, ok := d2.Get("torn"); ok {
+		t.Error("truncated manifest served")
+	}
+	if got, ok := d2.Get("keep"); !ok || len(got) != 20<<10 {
+		t.Error("intact entry lost while sweeping a torn manifest")
+	}
+	if d2.Stats().Errors == 0 {
+		t.Error("torn manifest not counted in Errors")
+	}
+	// The torn entry's unshared chunks are orphans now; the sweep must have
+	// removed them so accounting matches disk.
+	var onDisk int64
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			onDisk += info.Size()
+		}
+		return nil
+	})
+	if st := d2.Stats(); st.Bytes != onDisk {
+		t.Errorf("Bytes = %d after sweep, on disk = %d", st.Bytes, onDisk)
+	}
+}
+
+// TestChunkedMissingChunkIsMiss covers the other corruption shape: the
+// manifest is intact but a chunk file vanished underneath it.
+func TestChunkedMissingChunkIsMiss(t *testing.T) {
+	d := openChunked(t, t.TempDir(), 0)
+	val := randBytes(5, 30<<10)
+	d.Put("k", val)
+
+	removed := 0
+	filepath.Walk(filepath.Join(d.Dir(), "c"), func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && removed == 0 {
+			os.Remove(path)
+			removed++
+		}
+		return nil
+	})
+	if removed != 1 {
+		t.Fatal("no chunk file found to remove")
+	}
+	if _, ok := d.Get("k"); ok {
+		t.Error("entry served with a chunk missing")
+	}
+	if d.Stats().Errors == 0 {
+		t.Error("missing chunk not counted in Errors")
+	}
+	d.Put("k", val)
+	if got, ok := d.Get("k"); !ok || !bytes.Equal(got, val) {
+		t.Error("entry not repaired after rewrite")
+	}
+}
+
+// TestChunkedEvictionRespectsSharedChunks: evicting an entry must only
+// delete chunks nothing else references, and the cap works against
+// physical (deduped, compressed) occupancy.
+func TestChunkedEvictionRespectsSharedChunks(t *testing.T) {
+	dir := t.TempDir()
+	d := openChunked(t, dir, 0)
+	vals := corpus(6, 30<<10)
+	for i, v := range vals {
+		d.Put(fmt.Sprintf("k%d", i), v)
+	}
+	full := d.Stats().Bytes
+
+	// Reopen with a cap just below current occupancy. Evicting an entry
+	// only frees its manifest and its unshared chunks (here, the first
+	// chunk, which covers the per-entry header) — the shared body chunks
+	// stay as long as any survivor references them — so a near-full cap is
+	// satisfiable by dropping the oldest entry or two.
+	capBytes := full - 1000
+	d2 := openChunked(t, dir, capBytes)
+	st := d2.Stats()
+	if st.Bytes > capBytes {
+		t.Errorf("occupancy %d exceeds cap %d after eviction", st.Bytes, capBytes)
+	}
+	if st.Entries == 0 || st.Entries == len(vals) {
+		t.Errorf("eviction left %d/%d entries; want some but not all", st.Entries, len(vals))
+	}
+	if st.Evictions == 0 {
+		t.Error("evictions not counted")
+	}
+	survivors := 0
+	for i, v := range vals {
+		if got, ok := d2.Get(fmt.Sprintf("k%d", i)); ok {
+			survivors++
+			if !bytes.Equal(got, v) {
+				t.Fatalf("surviving k%d corrupted by eviction of its siblings", i)
+			}
+		}
+	}
+	if survivors != st.Entries {
+		t.Errorf("%d entries readable, stats say %d", survivors, st.Entries)
+	}
+	// The newest entry is never evicted.
+	if _, ok := d2.Get(fmt.Sprintf("k%d", len(vals)-1)); !ok {
+		t.Error("newest entry was evicted")
+	}
+}
+
+func TestChunkedReplaceReleasesOldChunks(t *testing.T) {
+	d := openChunked(t, t.TempDir(), 0)
+	d.Put("k", randBytes(9, 40<<10))
+	after1 := d.Stats()
+	d.Put("k", randBytes(10, 40<<10)) // unrelated content: no shared chunks
+	after2 := d.Stats()
+	if after2.Entries != 1 {
+		t.Fatalf("entries = %d after replace, want 1", after2.Entries)
+	}
+	// Occupancy must reflect only the new content — the old generation's
+	// chunks were dereferenced and deleted, not leaked.
+	if after2.Bytes > after1.Bytes*3/2 {
+		t.Errorf("occupancy grew from %d to %d on in-place replace; old chunks leaked", after1.Bytes, after2.Bytes)
+	}
+	if after2.LogicalBytes != 40<<10 {
+		t.Errorf("LogicalBytes = %d, want %d", after2.LogicalBytes, 40<<10)
+	}
+}
+
+// TestChunkedIdenticalRePut guards the generation handoff: re-storing a key
+// with the same bytes must keep every shared chunk alive (the new
+// generation's references are taken before the old one's are dropped) and
+// leave accounting unchanged.
+func TestChunkedIdenticalRePut(t *testing.T) {
+	d := openChunked(t, t.TempDir(), 0)
+	val := randBytes(21, 30<<10)
+	d.Put("k", val)
+	before := d.Stats()
+	d.Put("k", val)
+	if got, ok := d.Get("k"); !ok || !bytes.Equal(got, val) {
+		t.Fatal("entry unreadable after identical re-Put")
+	}
+	after := d.Stats()
+	if after.Entries != 1 || after.Bytes != before.Bytes || after.LogicalBytes != before.LogicalBytes {
+		t.Errorf("accounting drifted on identical re-Put: %+v vs %+v", after, before)
+	}
+	if d.Chunks() == 0 {
+		t.Error("chunks vanished on identical re-Put")
+	}
+}
+
+func TestChunkedEmptyValue(t *testing.T) {
+	dir := t.TempDir()
+	d := openChunked(t, dir, 0)
+	d.Put("empty", nil)
+	if got, ok := d.Get("empty"); !ok || len(got) != 0 {
+		t.Errorf("empty entry: ok=%v len=%d", ok, len(got))
+	}
+	d2 := openChunked(t, dir, 0)
+	if got, ok := d2.Get("empty"); !ok || len(got) != 0 {
+		t.Errorf("empty entry after reopen: ok=%v len=%d", ok, len(got))
+	}
+}

@@ -1,0 +1,130 @@
+package resultstore
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Content-defined chunking (FastCDC-style) for the chunked disk tier.
+//
+// Entry payloads are split at boundaries chosen by a gear-hash rolling over
+// the content, not at fixed offsets, so two payloads that share long byte
+// runs (neighboring sweep cells differ in a few config fields but share most
+// response bytes) produce mostly identical chunks even when the shared runs
+// sit at different offsets. Chunks are content-addressed by SHA-256, so
+// identical chunks are stored once no matter how many entries reference
+// them.
+//
+// Sizes are tuned for this store's payloads (JSON result bodies, a few KB
+// to a few hundred KB): small enough that a localized edit dirties one or
+// two chunks, large enough that per-chunk file overhead stays negligible.
+const (
+	chunkMin = 512  // no boundary before this many bytes
+	chunkAvg = 2048 // target average chunk size (2^11)
+	chunkMax = 8192 // forced boundary at this many bytes
+)
+
+// FastCDC normalized chunking: before the average-size point boundaries
+// must clear a harder mask (avg bits + 2), past it an easier one (avg bits
+// - 2), pulling the size distribution toward the average. The gear hash
+// mixes old bytes into high bits, so the masks test high bits.
+const (
+	chunkMaskS = uint64(0xFFF8) << 48 // 13 one-bits
+	chunkMaskL = uint64(0xFF80) << 48 // 9 one-bits
+)
+
+// gearTable is the byte → random-odd-word table the rolling hash folds over.
+// It is derived from SHA-256 so every build and process chunks identically —
+// chunk boundaries are part of the on-disk format.
+var gearTable = func() [256]uint64 {
+	var t [256]uint64
+	for i := 0; i < 256; i += 4 {
+		sum := sha256.Sum256([]byte{'g', 'e', 'a', 'r', byte(i)})
+		for j := 0; j < 4; j++ {
+			t[i+j] = binary.BigEndian.Uint64(sum[j*8:])
+		}
+	}
+	return t
+}()
+
+// cutPoint returns the length of the next chunk of data (1..chunkMax),
+// choosing a content-defined boundary between chunkMin and chunkMax.
+// len(data) must be > 0.
+func cutPoint(data []byte) int {
+	n := len(data)
+	if n <= chunkMin {
+		return n
+	}
+	if n > chunkMax {
+		n = chunkMax
+	}
+	normal := chunkAvg
+	if n < normal {
+		normal = n
+	}
+	var h uint64
+	i := chunkMin
+	for ; i < normal; i++ {
+		h = (h << 1) + gearTable[data[i]]
+		if h&chunkMaskS == 0 {
+			return i + 1
+		}
+	}
+	for ; i < n; i++ {
+		h = (h << 1) + gearTable[data[i]]
+		if h&chunkMaskL == 0 {
+			return i + 1
+		}
+	}
+	return n
+}
+
+// splitChunks splits data into content-defined chunks. The returned slices
+// alias data; concatenated in order they are exactly data. An empty payload
+// yields no chunks.
+func splitChunks(data []byte) [][]byte {
+	var out [][]byte
+	for len(data) > 0 {
+		n := cutPoint(data)
+		out = append(out, data[:n])
+		data = data[n:]
+	}
+	return out
+}
+
+// Chunk compression. compress/flate (stdlib DEFLATE) rather than zstd: the
+// module is dependency-free and the build environment resolves no external
+// modules, so vendoring klauspost/compress is not on the table — and at the
+// few-KB chunk sizes used here DEFLATE's ratio on JSON payloads is within a
+// few percent of zstd's while keeping the store self-contained.
+
+// compressChunk returns chunk DEFLATE-compressed.
+func compressChunk(chunk []byte) []byte {
+	var buf bytes.Buffer
+	zw, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil { // impossible for a valid level; fall back to stored
+		panic(err)
+	}
+	_, _ = zw.Write(chunk) // bytes.Buffer writes cannot fail
+	_ = zw.Close()
+	return buf.Bytes()
+}
+
+// decompressChunk inflates a compressed chunk, rejecting anything that
+// exceeds the chunker's maximum size (a corrupt stream must not balloon).
+func decompressChunk(comp []byte) ([]byte, error) {
+	zr := flate.NewReader(bytes.NewReader(comp))
+	defer zr.Close()
+	out, err := io.ReadAll(io.LimitReader(zr, chunkMax+1))
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: inflate chunk: %w", err)
+	}
+	if len(out) > chunkMax {
+		return nil, fmt.Errorf("resultstore: inflated chunk exceeds %d bytes", chunkMax)
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package resultstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/rand"
+	"testing"
+)
+
+// randBytes is deterministic test data with enough entropy that gear-hash
+// boundaries actually fire.
+func randBytes(seed int64, n int) []byte {
+	r := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func TestSplitChunksIdentityAndBounds(t *testing.T) {
+	for _, n := range []int{0, 1, chunkMin - 1, chunkMin, chunkAvg, chunkMax, chunkMax + 1, 64 << 10, 1 << 20} {
+		data := randBytes(int64(n)+1, n)
+		chunks := splitChunks(data)
+		if n == 0 {
+			if chunks != nil {
+				t.Errorf("splitChunks(empty) = %d chunks, want nil", len(chunks))
+			}
+			continue
+		}
+		var joined []byte
+		for i, c := range chunks {
+			if len(c) > chunkMax {
+				t.Errorf("n=%d chunk %d is %d bytes, over max %d", n, i, len(c), chunkMax)
+			}
+			if len(c) < chunkMin && i != len(chunks)-1 {
+				t.Errorf("n=%d chunk %d is %d bytes, under min %d (only the tail may be)", n, i, len(c), chunkMin)
+			}
+			joined = append(joined, c...)
+		}
+		if !bytes.Equal(joined, data) {
+			t.Errorf("n=%d: reassembled chunks differ from input", n)
+		}
+	}
+}
+
+// TestSplitChunksBoundaryStability is the property the chunked store's dedup
+// rests on: an edit near the front of a payload must not move the chunk
+// boundaries of the untouched tail, so neighboring sweep cells (which differ
+// in a few fields and share the rest) share most of their chunks.
+func TestSplitChunksBoundaryStability(t *testing.T) {
+	base := randBytes(7, 256<<10)
+	edited := append([]byte("prefix-insertion:"), base...)
+
+	seen := map[[32]byte]bool{}
+	for _, c := range chunkSums(base) {
+		seen[c] = true
+	}
+	shared := 0
+	editedChunks := chunkSums(edited)
+	for _, c := range editedChunks {
+		if seen[c] {
+			shared++
+		}
+	}
+	// Only the chunks covering the insertion point may differ; with ~128
+	// chunks in 256 KiB, well over half must survive the edit verbatim.
+	if shared*2 < len(editedChunks) {
+		t.Errorf("only %d/%d chunks shared after a prefix insertion; content-defined boundaries are not stable", shared, len(editedChunks))
+	}
+}
+
+func chunkSums(data []byte) [][32]byte {
+	var out [][32]byte
+	for _, c := range splitChunks(data) {
+		out = append(out, sha256.Sum256(c))
+	}
+	return out
+}
+
+func TestCompressChunkRoundTrip(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		[]byte("x"),
+		bytes.Repeat([]byte("abcd"), chunkMax/4), // compressible, exactly max-sized
+		randBytes(3, chunkAvg),                   // incompressible
+	} {
+		comp := compressChunk(data)
+		got, err := decompressChunk(comp)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("round trip of %d bytes differs", len(data))
+		}
+	}
+}
+
+func TestDecompressChunkRejectsOversize(t *testing.T) {
+	// A stream inflating past chunkMax can never come from splitChunks; the
+	// decoder must reject it rather than balloon memory on a forged chunk.
+	if _, err := decompressChunk(compressChunk(make([]byte, chunkMax+1))); err == nil {
+		t.Error("decompressChunk accepted a stream larger than chunkMax")
+	}
+	if _, err := decompressChunk([]byte("not a flate stream")); err == nil {
+		t.Error("decompressChunk accepted garbage")
+	}
+}
+
+// FuzzChunkReassemble fuzzes the identity the manifest format depends on:
+// split, compress, decompress, rejoin must reproduce any input exactly —
+// including inputs that are empty or smaller than one chunk.
+func FuzzChunkReassemble(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("a"))
+	f.Add(bytes.Repeat([]byte{0}, chunkMin))
+	f.Add(randBytes(1, chunkMax+chunkMin))
+	f.Add(randBytes(2, 3*chunkMax))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		chunks := splitChunks(data)
+		if (chunks == nil) != (len(data) == 0) {
+			t.Fatalf("%d bytes split into %d chunks", len(data), len(chunks))
+		}
+		joined := make([]byte, 0, len(data))
+		for i, c := range chunks {
+			if len(c) == 0 || len(c) > chunkMax {
+				t.Fatalf("chunk %d has invalid size %d", i, len(c))
+			}
+			rt, err := decompressChunk(compressChunk(c))
+			if err != nil {
+				t.Fatalf("chunk %d compress round trip: %v", i, err)
+			}
+			joined = append(joined, rt...)
+		}
+		if !bytes.Equal(joined, data) {
+			t.Fatal("reassembled payload differs from input")
+		}
+	})
+}

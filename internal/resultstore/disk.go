@@ -128,11 +128,14 @@ func OpenDisk(dir string, maxBytes int64) (*Disk, error) {
 // Dir returns the tier's root directory.
 func (d *Disk) Dir() string { return d.dir }
 
-// fileName maps a content address to its entry file name. Keys from the
-// serving layer are hex SHA-256 digests and map through unchanged (so the
-// on-disk corpus is human-greppable by content address); anything else is
-// rehashed into that shape rather than trusted as a path component.
-func fileName(key string) string {
+// Name implements Tier.
+func (d *Disk) Name() string { return "disk" }
+
+// safeName maps a content address to a filesystem-safe base name. Keys from
+// the serving layer are hex SHA-256 digests and map through unchanged (so
+// the on-disk corpus is human-greppable by content address); anything else
+// is rehashed into that shape rather than trusted as a path component.
+func safeName(key string) string {
 	safe := key != "" && len(key) <= 128
 	for i := 0; safe && i < len(key); i++ {
 		c := key[i]
@@ -142,9 +145,14 @@ func fileName(key string) string {
 	}
 	if !safe {
 		sum := sha256.Sum256([]byte(key))
-		return "x" + hex.EncodeToString(sum[:]) + entrySuffix
+		return "x" + hex.EncodeToString(sum[:])
 	}
-	return key + entrySuffix
+	return key
+}
+
+// fileName maps a content address to its entry file name.
+func fileName(key string) string {
+	return safeName(key) + entrySuffix
 }
 
 // path returns the absolute path of an entry file. Entries spread over 256
@@ -170,10 +178,10 @@ func (d *Disk) Get(key string) ([]byte, bool) {
 	return val, ok
 }
 
-// peek is Get without the hit/miss counters (integrity errors are still
-// counted). Tiered uses it inside a flight whose lookup was already
+// Peek is Get without the hit/miss counters (integrity errors are still
+// counted). The chain uses it inside a flight whose lookup was already
 // counted, so one logical lookup counts once per tier.
-func (d *Disk) peek(key string) ([]byte, bool) {
+func (d *Disk) Peek(key string) ([]byte, bool) {
 	return d.get(key)
 }
 
@@ -200,7 +208,7 @@ func (d *Disk) get(key string) ([]byte, bool) {
 		d.dropStale(name, gen, false)
 		return nil, false
 	}
-	val, err := decodeEntry(raw)
+	val, err := DecodeEntry(raw)
 	if err != nil {
 		// Torn write or bit rot: never serve it. Remove the file so the
 		// next store of this address rewrites it cleanly — unless a
@@ -227,7 +235,7 @@ func (d *Disk) Put(key string, val []byte) {
 		d.errors.Add(1)
 		return
 	}
-	buf := encodeEntry(val)
+	buf := EncodeEntry(val)
 	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*")
 	if err != nil {
 		d.errors.Add(1)
@@ -333,12 +341,19 @@ func (d *Disk) Stats() TierStats {
 		Evictions: d.evictions.Load(),
 		Entries:   entries,
 		Bytes:     bytes,
-		Errors:    d.errors.Load(),
+		// Every entry file is exactly header + payload, so the payload
+		// volume this uncompressed tier represents is its occupancy minus
+		// the per-entry framing.
+		LogicalBytes: bytes - int64(entries)*int64(diskHeaderLen),
+		Errors:       d.errors.Load(),
 	}
 }
 
-// encodeEntry frames a payload for storage.
-func encodeEntry(val []byte) []byte {
+// EncodeEntry frames a payload with the entry checksum header (magic,
+// payload SHA-256, payload length). The disk tier stores entries in this
+// frame, and /v1/blob serves them in it, so a peer fetching an entry
+// verifies the same integrity envelope a local disk read does.
+func EncodeEntry(val []byte) []byte {
 	buf := make([]byte, 0, diskHeaderLen+len(val))
 	buf = append(buf, diskMagic...)
 	sum := sha256.Sum256(val)
@@ -347,8 +362,8 @@ func encodeEntry(val []byte) []byte {
 	return append(buf, val...)
 }
 
-// decodeEntry verifies framing and returns the payload.
-func decodeEntry(raw []byte) ([]byte, error) {
+// DecodeEntry verifies an EncodeEntry frame and returns the payload.
+func DecodeEntry(raw []byte) ([]byte, error) {
 	if len(raw) < diskHeaderLen || string(raw[:len(diskMagic)]) != diskMagic {
 		return nil, fmt.Errorf("resultstore: bad entry header")
 	}

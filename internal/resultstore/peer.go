@@ -1,0 +1,161 @@
+package resultstore
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"cdcs/internal/fanout"
+)
+
+// PeerTier consults sibling replicas before the chain falls through to a
+// recompute: a read-only tier that fetches entries by content address from
+// GET /v1/blob/{hash} on its peers. Replicas are ranked per key with the
+// same rendezvous hashing the sweep fan-out uses to route cells
+// (fanout.Rank), so the first peers asked are exactly the replicas the
+// fleet's clients would have sent the work to — the likely holders. A hit
+// is promoted into the faster local tiers by the chain, which is how a
+// replica starting with an empty cache directory joins the fleet warm: its
+// first pass over a corpus fills memory and disk from its peers, and only
+// work the whole fleet has never seen burns a simulation.
+//
+// Fetched entries arrive in the same checksummed frame the disk tier
+// stores (EncodeEntry), so a damaged or truncated peer response is detected
+// exactly like local bit rot: counted in Errors and treated as a miss,
+// never served.
+type PeerTier struct {
+	peers       []string
+	client      *http.Client
+	maxAttempts int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	errors atomic.Int64
+}
+
+// DefaultPeerAttempts bounds how many ranked peers one lookup consults. Two
+// is enough to cover the key's owner plus its first failover holder without
+// turning a fleet-wide cold miss into a full broadcast.
+const DefaultPeerAttempts = 2
+
+// NewPeerTier builds a peer tier over sibling base URLs (e.g.
+// "http://10.0.0.2:8080"). client may be nil for a default with a 5s
+// timeout; maxAttempts ≤ 0 means DefaultPeerAttempts, capped at the number
+// of peers.
+func NewPeerTier(peers []string, client *http.Client, maxAttempts int) *PeerTier {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultPeerAttempts
+	}
+	return &PeerTier{
+		peers:       fanout.NormalizeReplicas(peers),
+		client:      client,
+		maxAttempts: maxAttempts,
+	}
+}
+
+// Name implements Tier.
+func (p *PeerTier) Name() string { return "peer" }
+
+// TierRemote marks the tier as consulting other processes, so
+// TierChain.GetLocal (the /v1/blob lookup path) skips it and a blob request
+// can never recurse back into the fleet.
+func (p *PeerTier) TierRemote() {}
+
+// Get implements Tier: try the key's ranked holders until one serves a
+// verified entry.
+func (p *PeerTier) Get(key string) ([]byte, bool) {
+	val, ok := p.fetch(key)
+	if ok {
+		p.hits.Add(1)
+	} else {
+		p.misses.Add(1)
+	}
+	return val, ok
+}
+
+// Peek is Get without the hit/miss counters (fetch failures are still
+// counted in Errors).
+func (p *PeerTier) Peek(key string) ([]byte, bool) {
+	return p.fetch(key)
+}
+
+// fetch walks the key's rendezvous ranking. A clean 404 means that peer
+// simply does not hold the entry; transport errors, non-200 statuses and
+// integrity failures count in Errors. Either way the next ranked holder is
+// tried, and running out of holders is a miss.
+func (p *PeerTier) fetch(key string) ([]byte, bool) {
+	if len(p.peers) == 0 {
+		return nil, false
+	}
+	ranked := fanout.Rank(p.peers, key)
+	if len(ranked) > p.maxAttempts {
+		ranked = ranked[:p.maxAttempts]
+	}
+	for _, peer := range ranked {
+		val, err := p.fetchOne(peer, key)
+		if err != nil {
+			p.errors.Add(1)
+			continue
+		}
+		if val != nil {
+			return val, true
+		}
+	}
+	return nil, false
+}
+
+// fetchOne asks a single peer for the framed entry. Returns (nil, nil) for
+// a clean not-found.
+func (p *PeerTier) fetchOne(peer, key string) ([]byte, error) {
+	resp, err := p.client.Get(peer + "/v1/blob/" + key)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("resultstore: peer %s: %s", peer, resp.Status)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) > maxBlobBytes {
+		return nil, fmt.Errorf("resultstore: peer %s: blob exceeds %d bytes", peer, maxBlobBytes)
+	}
+	val, err := DecodeEntry(raw)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: peer %s: %w", peer, err)
+	}
+	return val, nil
+}
+
+// maxBlobBytes bounds one fetched entry; result bodies are JSON documents
+// well under this.
+const maxBlobBytes = 64 << 20
+
+// Put implements Tier as a no-op: each replica owns its local tiers, and
+// peers are filled by their own compute-and-write-through paths, not pushed
+// to.
+func (p *PeerTier) Put(string, []byte) {}
+
+// Peers returns the normalized peer list.
+func (p *PeerTier) Peers() []string { return p.peers }
+
+// Stats implements Tier. Entries/Bytes stay zero: the tier holds nothing.
+func (p *PeerTier) Stats() TierStats {
+	return TierStats{
+		Name:   "peer",
+		Hits:   p.hits.Load(),
+		Misses: p.misses.Load(),
+		Errors: p.errors.Load(),
+	}
+}

@@ -1,0 +1,158 @@
+package resultstore
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// blobServer is a minimal stand-in for a sibling replica's /v1/blob
+// endpoint: it serves framed entries from a map.
+func blobServer(t *testing.T, entries map[string][]byte) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var requests atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		key := strings.TrimPrefix(r.URL.Path, "/v1/blob/")
+		val, ok := entries[key]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(EncodeEntry(val))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &requests
+}
+
+func TestPeerTierServesVerifiedEntries(t *testing.T) {
+	val := []byte(`{"result": "from-peer"}`)
+	srv, _ := blobServer(t, map[string][]byte{"k": val})
+	p := NewPeerTier([]string{srv.URL}, nil, 0)
+
+	got, ok := p.Get("k")
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if _, ok := p.Get("absent"); ok {
+		t.Error("absent key served")
+	}
+	st := p.Stats()
+	if st.Name != "peer" || st.Hits != 1 || st.Misses != 1 || st.Errors != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Entries/Bytes stay zero: the tier holds nothing locally.
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("peer tier reports local occupancy: %+v", st)
+	}
+}
+
+// TestPeerTierRejectsDamagedFrame: a peer response that fails the entry
+// frame's checksum must never be served — it counts as an error and a miss,
+// exactly like local bit rot.
+func TestPeerTierRejectsDamagedFrame(t *testing.T) {
+	frame := EncodeEntry([]byte("payload"))
+	frame[len(frame)-1] ^= 0x01
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(frame)
+	}))
+	t.Cleanup(srv.Close)
+
+	p := NewPeerTier([]string{srv.URL}, nil, 0)
+	if _, ok := p.Get("k"); ok {
+		t.Fatal("damaged frame served")
+	}
+	st := p.Stats()
+	if st.Errors == 0 {
+		t.Error("damaged frame not counted in Errors")
+	}
+	if st.Misses != 1 {
+		t.Errorf("Misses = %d, want 1", st.Misses)
+	}
+}
+
+func TestPeerTierSurvivesDeadPeer(t *testing.T) {
+	val := []byte("v")
+	alive, _ := blobServer(t, map[string][]byte{"k": val})
+	dead := httptest.NewServer(http.HandlerFunc(nil))
+	dead.Close() // connection refused from here on
+
+	// Both orders: whichever way rendezvous ranks them, the lookup must
+	// fall through the dead peer to the live one.
+	p := NewPeerTier([]string{dead.URL, alive.URL}, nil, 0)
+	got, ok := p.Get("k")
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("Get with a dead peer in the ranking = %q, %v", got, ok)
+	}
+}
+
+func TestPeerTierAttemptsBounded(t *testing.T) {
+	// Three peers, none holding the key: only maxAttempts of them may be
+	// asked, so a fleet-wide cold miss is not a broadcast.
+	var asked atomic.Int64
+	mk := func() *httptest.Server {
+		s := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			asked.Add(1)
+			http.NotFound(w, r)
+		}))
+		t.Cleanup(s.Close)
+		return s
+	}
+	peers := []string{mk().URL, mk().URL, mk().URL}
+	p := NewPeerTier(peers, nil, 2)
+	if _, ok := p.Get("cold"); ok {
+		t.Fatal("miss reported as hit")
+	}
+	if n := asked.Load(); n != 2 {
+		t.Errorf("%d peers asked, want 2", n)
+	}
+}
+
+// TestPeerTierInChain is the composition the fleet runs: a cold chain with
+// a peer tier serves from the peer and promotes the entry into its local
+// tiers, so the next lookup never leaves the process.
+func TestPeerTierInChain(t *testing.T) {
+	val := []byte(`{"result": 42}`)
+	srv, requests := blobServer(t, map[string][]byte{"k": val})
+	chain := Chain(MemoryTier(16), NewPeerTier([]string{srv.URL}, nil, 0))
+
+	got, ok := chain.Get("k")
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("cold Get through chain = %q, %v", got, ok)
+	}
+	after := requests.Load()
+	if after == 0 {
+		t.Fatal("peer never consulted")
+	}
+	if got, ok := chain.Get("k"); !ok || !bytes.Equal(got, val) {
+		t.Fatal("promoted entry not served locally")
+	}
+	if requests.Load() != after {
+		t.Error("second Get went back to the peer; promotion failed")
+	}
+	st := chain.Stats()
+	if st.Tier("peer").Hits != 1 || st.Tier("memory").Hits != 1 {
+		t.Errorf("tier hits: peer=%d memory=%d, want 1/1", st.Tier("peer").Hits, st.Tier("memory").Hits)
+	}
+}
+
+func TestPeerTierPutIsNoOp(t *testing.T) {
+	srv, requests := blobServer(t, nil)
+	p := NewPeerTier([]string{srv.URL}, nil, 0)
+	p.Put("k", []byte("v"))
+	if requests.Load() != 0 {
+		t.Error("Put issued a request; the peer tier must be read-only")
+	}
+}
+
+func TestPeerTierNormalizesPeers(t *testing.T) {
+	p := NewPeerTier([]string{" http://a:1/ ", "", "http://a:1", "http://b:2"}, nil, 0)
+	got := p.Peers()
+	want := []string{"http://a:1", "http://b:2"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Peers() = %v, want %v", got, want)
+	}
+}

@@ -1,14 +1,17 @@
 // Package resultstore layers the content-addressed result caches into a
-// tiered store: a fast in-memory tier (internal/resultcache's sharded LRU)
-// over an optional persistent disk tier, behind one small Store interface
-// the serving layer programs against.
+// fallback chain of tiers — memory, persistent disk (whole-entry or
+// chunked+compressed), peer replicas — behind one small Store interface the
+// serving layer programs against.
 //
 // The contract is the same one the memory cache established: simulation is
 // an expensive pure function of a request's content address, so any tier
 // may serve any address and all tiers hold identical bytes for it. The
-// tiered composition preserves singleflight semantics across tiers — for a
-// given address there is at most one disk read and at most one simulation
-// in flight process-wide, no matter how many tiers sit in the path.
+// chain composition preserves singleflight semantics across tiers — for a
+// given address there is at most one probe sequence and at most one
+// simulation in flight process-wide, no matter how many tiers sit in the
+// path. A miss only reaches the next tier when every faster tier missed,
+// so a recompute happens only when the whole chain (including any peer
+// replicas) came up empty.
 package resultstore
 
 import "context"
@@ -36,6 +39,41 @@ type Store interface {
 	Stats() Stats
 }
 
+// Tier is the minimal surface a fallback-chain member implements: counted
+// lookups, best-effort stores, and counters. Compose tiers with Chain.
+//
+// All implementations in this package are safe for concurrent use. Put is
+// best-effort — a tier that cannot (or does not) store a value simply
+// drops it; tiers are accelerators, never correctness dependencies.
+type Tier interface {
+	// Name labels the tier in Stats and metrics ("memory", "disk", "peer").
+	Name() string
+
+	// Get returns the stored bytes for key, counting a hit or miss.
+	Get(key string) ([]byte, bool)
+
+	// Put stores key's bytes (best effort). Read-only tiers no-op.
+	Put(key string, val []byte)
+
+	// Stats snapshots the tier's counters.
+	Stats() TierStats
+}
+
+// peeker is implemented by tiers whose lookups can skip the hit/miss
+// counters. Chain uses it for the uncounted re-probe inside a flight whose
+// triggering lookup was already counted, so one logical lookup counts
+// exactly once per tier. Tiers without it are re-probed with a counted Get.
+type peeker interface {
+	Peek(key string) ([]byte, bool)
+}
+
+// remoteTier marks tiers that consult other processes (the peer tier).
+// TierChain.GetLocal skips them so one replica's blob lookup can never
+// recurse back into the fleet.
+type remoteTier interface {
+	TierRemote()
+}
+
 // TierStats are one tier's counters. Bytes includes per-entry overhead
 // (the key for the memory tier, the entry-file framing for the disk tier)
 // so tiers report comparable occupancy numbers.
@@ -45,16 +83,25 @@ type TierStats struct {
 	Misses    int64  `json:"misses"`
 	Evictions int64  `json:"evictions"`
 	Entries   int    `json:"entries"`
-	Bytes     int64  `json:"bytes"`
+	// Bytes is the tier's physical occupancy: for disk tiers the bytes
+	// actually resident on disk — compressed, after chunk dedup — which is
+	// exactly what the size cap evicts against.
+	Bytes int64 `json:"bytes"`
+	// LogicalBytes is the uncompressed payload volume the tier represents;
+	// Bytes/LogicalBytes is the observable dedup+compression ratio. Zero
+	// for tiers that store nothing (peer) — and for the memory tier, where
+	// it would equal the payload share of Bytes.
+	LogicalBytes int64 `json:"logical_bytes,omitempty"`
 	// Errors counts tolerated I/O and integrity failures (corrupt or
-	// unreadable disk entries treated as misses, failed writes). Always 0
-	// for the memory tier.
+	// unreadable disk entries treated as misses, failed writes, failed or
+	// damaged peer fetches). Always 0 for the memory tier.
 	Errors int64 `json:"errors,omitempty"`
 }
 
 // Stats is a snapshot of a whole store.
 type Stats struct {
-	// Tiers is ordered fastest first ("memory", then "disk" when present).
+	// Tiers is ordered fastest first ("memory", then "disk" and "peer"
+	// when present).
 	Tiers []TierStats `json:"tiers"`
 	// Coalesced counts callers that waited on another caller's in-flight
 	// computation; Inflight is the current number of distinct computations.

@@ -1,47 +1,35 @@
 package resultstore
 
 import (
-	"context"
-
 	"cdcs/internal/resultcache"
 )
 
-// Memory adapts internal/resultcache's sharded LRU to the Store interface:
-// the single-tier configuration, and the fast tier of Tiered.
-type Memory struct {
+// MemTier adapts internal/resultcache's sharded LRU to the Tier interface:
+// the fast head tier of every chain.
+type MemTier struct {
 	c *resultcache.Cache
 }
 
-// NewMemory builds a memory-only store holding up to capacity entries.
-func NewMemory(capacity int) *Memory {
-	return &Memory{c: resultcache.New(capacity)}
+// MemoryTier builds a memory tier holding up to capacity entries.
+func MemoryTier(capacity int) *MemTier {
+	return &MemTier{c: resultcache.New(capacity)}
 }
 
-// Get implements Store.
-func (m *Memory) Get(key string) ([]byte, bool) { return m.c.Get(key) }
+// Name implements Tier.
+func (m *MemTier) Name() string { return "memory" }
 
-// GetOrCompute implements Store.
-func (m *Memory) GetOrCompute(ctx context.Context, key string, compute func() ([]byte, error)) ([]byte, bool, error) {
-	return m.c.GetOrCompute(ctx, key, compute)
-}
+// Get implements Tier.
+func (m *MemTier) Get(key string) ([]byte, bool) { return m.c.Get(key) }
 
-// Compute implements Store.
-func (m *Memory) Compute(ctx context.Context, key string, compute func() ([]byte, error)) ([]byte, bool, error) {
-	return m.c.Compute(ctx, key, compute)
-}
+// Peek is Get without the hit/miss counters.
+func (m *MemTier) Peek(key string) ([]byte, bool) { return m.c.Peek(key) }
 
-// Stats implements Store.
-func (m *Memory) Stats() Stats {
+// Put implements Tier.
+func (m *MemTier) Put(key string, val []byte) { m.c.Put(key, val) }
+
+// Stats implements Tier.
+func (m *MemTier) Stats() TierStats {
 	st := m.c.Stats()
-	return Stats{
-		Tiers:     []TierStats{memTier(st)},
-		Coalesced: st.Coalesced,
-		Inflight:  st.Inflight,
-	}
-}
-
-// memTier maps the memory cache's counters onto a tier snapshot.
-func memTier(st resultcache.Stats) TierStats {
 	return TierStats{
 		Name:      "memory",
 		Hits:      st.Hits,
@@ -52,79 +40,17 @@ func memTier(st resultcache.Stats) TierStats {
 	}
 }
 
-// Tiered composes the memory tier over a disk tier. Lookups try memory
-// first; a disk hit is promoted into memory so the working set migrates to
-// the fast tier; a full miss computes once and writes through to both
-// tiers.
-//
-// Singleflight spans the tiers: the disk probe and the computation both run
-// inside the memory tier's per-key flight, so a thundering herd on one
-// address costs at most one disk read and at most one simulation, and every
-// caller gets the same bytes.
-type Tiered struct {
-	mem  *resultcache.Cache
-	disk *Disk
+// NewMemory builds a memory-only store holding up to capacity entries: a
+// single-tier chain.
+func NewMemory(capacity int) *TierChain {
+	return Chain(MemoryTier(capacity))
 }
 
-// NewTiered builds a store with a memory tier of memCapacity entries over
-// the given disk tier.
-func NewTiered(memCapacity int, disk *Disk) *Tiered {
-	return &Tiered{mem: resultcache.New(memCapacity), disk: disk}
-}
-
-// Get implements Store: memory first, then disk with promotion.
-func (t *Tiered) Get(key string) ([]byte, bool) {
-	if v, ok := t.mem.Get(key); ok {
-		return v, true
-	}
-	if v, ok := t.disk.Get(key); ok {
-		t.mem.Put(key, v)
-		return v, true
-	}
-	return nil, false
-}
-
-// GetOrCompute implements Store.
-func (t *Tiered) GetOrCompute(ctx context.Context, key string, compute func() ([]byte, error)) ([]byte, bool, error) {
-	// The counted lookup probes both tiers (and promotes a disk hit), so
-	// one logical lookup counts exactly once per tier; the flight's own
-	// disk re-probe below is uncounted.
-	if v, ok := t.Get(key); ok {
-		return v, true, nil
-	}
-	return t.Compute(ctx, key, compute)
-}
-
-// Compute implements Store, for callers whose lookup (a Tiered.Get that
-// probed and counted both tiers) already missed. The memory tier's flight
-// wraps an uncounted disk probe around the caller's compute — the value
-// may have landed on disk between the caller's lookup and the flight — so
-// a disk hit short-circuits the computation and lands in memory via the
-// flight's normal fill path (promotion), while a real miss computes and
-// writes through to disk. Either way the tiered result is a hit whenever
-// this caller's compute did not run.
-func (t *Tiered) Compute(ctx context.Context, key string, compute func() ([]byte, error)) ([]byte, bool, error) {
-	diskServed := false
-	val, hit, err := t.mem.Compute(ctx, key, func() ([]byte, error) {
-		if v, ok := t.disk.peek(key); ok {
-			diskServed = true
-			return v, nil
-		}
-		v, err := compute()
-		if err == nil {
-			t.disk.Put(key, v)
-		}
-		return v, err
-	})
-	return val, hit || diskServed, err
-}
-
-// Stats implements Store: memory tier first, then disk.
-func (t *Tiered) Stats() Stats {
-	mst := t.mem.Stats()
-	return Stats{
-		Tiers:     []TierStats{memTier(mst), t.disk.Stats()},
-		Coalesced: mst.Coalesced,
-		Inflight:  mst.Inflight,
-	}
+// NewTiered builds the classic two-tier store — a memory tier of memCapacity
+// entries over the given disk tier — as a thin Chain wrapper. Lookups try
+// memory first; a disk hit is promoted into memory so the working set
+// migrates to the fast tier; a full miss computes once and writes through to
+// both tiers.
+func NewTiered(memCapacity int, disk *Disk) *TierChain {
+	return Chain(MemoryTier(memCapacity), disk)
 }

@@ -39,7 +39,19 @@ import (
 )
 
 // Options configures a Server. The zero value picks sensible defaults.
+//
+// The result store comes from exactly one of two places. When Store is set
+// the server uses it as-is and every Cache* / Peers convenience field must
+// be left zero (New rejects the conflict: the injected store would silently
+// shadow them). Otherwise the convenience fields build the default chain:
+// memory (CacheEntries) → disk (CacheDir, CacheDiskBytes, CacheCompress) →
+// peer replicas (Peers), each tier present only when configured.
 type Options struct {
+	// Store, when non-nil, is the result store the server uses verbatim —
+	// the dependency-inversion seam for tests and custom tier chains.
+	// Conflicts with CacheEntries, CacheDir, CacheDiskBytes, CacheCompress
+	// and Peers.
+	Store resultstore.Store
 	// CacheEntries bounds the memory tier of the result store (default 4096
 	// entries).
 	CacheEntries int
@@ -50,8 +62,19 @@ type Options struct {
 	CacheDir string
 	// CacheDiskBytes caps the disk tier's size; least-recently-used entries
 	// are evicted past it. 0 means DefaultCacheDiskBytes; negative means
-	// uncapped. Ignored without CacheDir.
+	// uncapped. Requires CacheDir.
 	CacheDiskBytes int64
+	// CacheCompress stores the disk tier chunked: payloads are split into
+	// content-defined chunks, deduplicated by SHA-256 and DEFLATE-
+	// compressed, so corpora of neighboring sweep cells take a fraction of
+	// their logical bytes (see resultstore.ChunkedDisk). Requires CacheDir.
+	CacheCompress bool
+	// Peers lists sibling replica base URLs. When non-empty, a read-only
+	// peer tier is appended after the local tiers: a local miss fetches the
+	// entry from the replicas rendezvous-ranked for its key (via GET
+	// /v1/blob/{hash}) before falling back to simulation, so a cold replica
+	// joins the fleet warm and only a fleet-wide miss burns a simulation.
+	Peers []string
 	// QueueDepth bounds the job queue; submissions beyond it get 503
 	// (default 256).
 	QueueDepth int
@@ -109,20 +132,48 @@ type Server struct {
 	started     time.Time
 }
 
-// New builds a ready-to-serve Server and starts its worker pool. With
-// Options.CacheDir set, the result store is tiered (memory over disk) and
-// New fails if the directory cannot be opened.
+// New builds a ready-to-serve Server and starts its worker pool. The
+// result store is the injected Options.Store, or the default chain built
+// from the Cache*/Peers fields (see the Options godoc for precedence); New
+// fails on conflicting settings or an unopenable cache directory.
 func New(opts Options) (*Server, error) {
-	opts = opts.withDefaults()
-	var store resultstore.Store
-	if opts.CacheDir != "" {
-		disk, err := resultstore.OpenDisk(opts.CacheDir, opts.CacheDiskBytes)
-		if err != nil {
-			return nil, err
+	if opts.Store != nil {
+		if opts.CacheEntries != 0 || opts.CacheDir != "" || opts.CacheDiskBytes != 0 ||
+			opts.CacheCompress || len(opts.Peers) > 0 {
+			return nil, fmt.Errorf("server: Options.Store conflicts with CacheEntries/CacheDir/CacheDiskBytes/CacheCompress/Peers — configure tiers on the injected store instead")
 		}
-		store = resultstore.NewTiered(opts.CacheEntries, disk)
-	} else {
-		store = resultstore.NewMemory(opts.CacheEntries)
+	}
+	if opts.CacheDir == "" {
+		if opts.CacheCompress {
+			return nil, fmt.Errorf("server: CacheCompress requires CacheDir")
+		}
+		if opts.CacheDiskBytes != 0 {
+			return nil, fmt.Errorf("server: CacheDiskBytes requires CacheDir")
+		}
+	}
+	opts = opts.withDefaults()
+	store := opts.Store
+	if store == nil {
+		tiers := []resultstore.Tier{resultstore.MemoryTier(opts.CacheEntries)}
+		if opts.CacheDir != "" {
+			var (
+				disk resultstore.Tier
+				err  error
+			)
+			if opts.CacheCompress {
+				disk, err = resultstore.OpenChunkedDisk(opts.CacheDir, opts.CacheDiskBytes)
+			} else {
+				disk, err = resultstore.OpenDisk(opts.CacheDir, opts.CacheDiskBytes)
+			}
+			if err != nil {
+				return nil, err
+			}
+			tiers = append(tiers, disk)
+		}
+		if len(opts.Peers) > 0 {
+			tiers = append(tiers, resultstore.NewPeerTier(opts.Peers, nil, 0))
+		}
+		store = resultstore.Chain(tiers...)
 	}
 	s := &Server{
 		opts:    opts,
@@ -188,6 +239,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/blob/{hash}", s.handleBlob)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.opts.Pprof {
@@ -577,6 +629,43 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, job.view(false))
 }
 
+// localGetter is the store surface the blob endpoint wants: a lookup that
+// consults only this process's tiers. resultstore.TierChain implements it;
+// an injected store that contains remote tiers should too, or its blob
+// lookups would cascade across the fleet.
+type localGetter interface {
+	GetLocal(key string) ([]byte, bool)
+}
+
+// handleBlob serves one stored entry to a sibling replica, framed with the
+// disk tier's checksum envelope (resultstore.EncodeEntry) so the peer can
+// verify it end to end. Only local tiers are consulted — a blob lookup
+// never recurses into this replica's own peer tier — and the lookup is
+// uncounted, so peer traffic does not skew this replica's hit/miss
+// counters or reshape its working set.
+func (s *Server) handleBlob(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if hash == "" || len(hash) > 128 {
+		writeErr(w, http.StatusBadRequest, "bad content address %q", hash)
+		return
+	}
+	var (
+		val []byte
+		ok  bool
+	)
+	if lg, isLocal := s.cache.(localGetter); isLocal {
+		val, ok = lg.GetLocal(hash)
+	} else {
+		val, ok = s.cache.Get(hash)
+	}
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no entry for %s", hash)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(resultstore.EncodeEntry(val))
+}
+
 // handleHealthz is the liveness probe.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -594,9 +683,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	line := func(name string, v any) {
 		fmt.Fprintf(&b, "%s %v\n", name, v)
 	}
-	// Cache counters carry a tier label ("memory", and "disk" when the
-	// store is persistent) so dashboards can tell a RAM hit from a
-	// warm-start disk hit.
+	// Cache counters carry a tier label ("memory", plus "disk" when the
+	// store is persistent and "peer" when it consults sibling replicas) so
+	// dashboards can tell a RAM hit from a warm-start disk hit from a
+	// peer-filled one. cdcs_cache_bytes is physical occupancy (compressed,
+	// deduplicated for the chunked disk tier); cdcs_cache_logical_bytes is
+	// the payload volume represented, so bytes/logical_bytes is the live
+	// dedup+compression ratio.
 	for _, tier := range st.Cache.Tiers {
 		tl := func(name string, v any) {
 			fmt.Fprintf(&b, "%s{tier=%q} %v\n", name, tier.Name, v)
@@ -606,6 +699,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		tl("cdcs_cache_evictions_total", tier.Evictions)
 		tl("cdcs_cache_entries", tier.Entries)
 		tl("cdcs_cache_bytes", tier.Bytes)
+		tl("cdcs_cache_logical_bytes", tier.LogicalBytes)
 		tl("cdcs_cache_errors_total", tier.Errors)
 	}
 	line("cdcs_cache_coalesced_total", st.Cache.Coalesced)
