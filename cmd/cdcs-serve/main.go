@@ -11,7 +11,12 @@
 //	                                 # deduplicated and DEFLATE-compressed
 //	cdcs-serve -peers http://10.0.0.2:8080,http://10.0.0.3:8080
 //	                                 # local misses fetch finished entries from
-//	                                 # sibling replicas before simulating
+//	                                 # sibling replicas before simulating; peers
+//	                                 # are health-probed, breaker-gated, and
+//	                                 # exported as cdcs_fleet_* metrics
+//	cdcs-serve -peers ... -fleet-probe-interval 500ms -fleet-breaker-threshold 5
+//	                                 # tune the probe period and how many
+//	                                 # consecutive failures sideline a peer
 //	cdcs-serve -pprof                # opt-in net/http/pprof at /debug/pprof/
 //
 //	curl -s localhost:8080/healthz
@@ -60,11 +65,15 @@ func run() int {
 		diskBytes = flag.Int64("cache-disk-bytes", server.DefaultCacheDiskBytes, "disk-tier size cap in bytes, LRU-evicted past it (requires -cache-dir; <0 = uncapped)")
 		compress  = flag.Bool("cache-compress", false, "store the disk tier chunked: content-defined chunks, SHA-256 dedup, DEFLATE compression (requires -cache-dir)")
 		peers     = flag.String("peers", "", "comma-separated sibling replica base URLs; local misses fetch entries from the fleet before simulating")
-		queue     = flag.Int("queue", 256, "job queue depth (submissions beyond it get 503)")
-		workers   = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS/2)")
-		jobs      = flag.Int("j", 0, "max parallel simulation jobs per request (0 = GOMAXPROCS)")
-		timeout   = flag.Duration("timeout", 15*time.Minute, "per-job timeout (0 = none)")
-		pprof     = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ (off by default; enable only on trusted networks)")
+
+		probeInterval    = flag.Duration("fleet-probe-interval", 0, "health-probe period over -peers (0 = default 2s, negative disables probing; requires -peers)")
+		breakerThreshold = flag.Int("fleet-breaker-threshold", 0, "consecutive failures that open a peer's circuit breaker (0 = default 3; requires -peers)")
+
+		queue   = flag.Int("queue", 256, "job queue depth (submissions beyond it get 503)")
+		workers = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS/2)")
+		jobs    = flag.Int("j", 0, "max parallel simulation jobs per request (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 15*time.Minute, "per-job timeout (0 = none)")
+		pprof   = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ (off by default; enable only on trusted networks)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -103,22 +112,41 @@ func run() int {
 			return 2
 		}
 	}
+	if len(peerList) == 0 {
+		var fleetFlags []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "fleet-probe-interval", "fleet-breaker-threshold":
+				fleetFlags = append(fleetFlags, "-"+f.Name)
+			}
+		})
+		if len(fleetFlags) > 0 {
+			verb := "requires"
+			if len(fleetFlags) > 1 {
+				verb = "require"
+			}
+			fmt.Fprintf(os.Stderr, "cdcs-serve: %s %s -peers\n", strings.Join(fleetFlags, ", "), verb)
+			return 2
+		}
+	}
 
 	jobTimeout := *timeout
 	if jobTimeout == 0 {
 		jobTimeout = -1 // flag 0 = no timeout; Options treats 0 as "default"
 	}
 	srv, err := server.New(server.Options{
-		CacheEntries:   *cache,
-		CacheDir:       *cacheDir,
-		CacheDiskBytes: *diskBytes,
-		CacheCompress:  *compress,
-		Peers:          peerList,
-		QueueDepth:     *queue,
-		Workers:        *workers,
-		JobTimeout:     jobTimeout,
-		SimParallelism: *jobs,
-		Pprof:          *pprof,
+		CacheEntries:          *cache,
+		CacheDir:              *cacheDir,
+		CacheDiskBytes:        *diskBytes,
+		CacheCompress:         *compress,
+		Peers:                 peerList,
+		FleetProbeInterval:    *probeInterval,
+		FleetBreakerThreshold: *breakerThreshold,
+		QueueDepth:            *queue,
+		Workers:               *workers,
+		JobTimeout:            jobTimeout,
+		SimParallelism:        *jobs,
+		Pprof:                 *pprof,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cdcs-serve: %v\n", err)
@@ -133,7 +161,8 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "cdcs-serve: %s result cache at %s\n", mode, *cacheDir)
 	}
 	if len(peerList) > 0 {
-		fmt.Fprintf(os.Stderr, "cdcs-serve: peer tier over %s\n", strings.Join(peerList, ", "))
+		fmt.Fprintf(os.Stderr, "cdcs-serve: peer tier over %s (health-checked; see cdcs_fleet_* in /metrics)\n",
+			strings.Join(peerList, ", "))
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -11,6 +11,10 @@
 //
 //	cdcs -sweep grid.json -replicas http://a:8080,http://b:8080
 //	                           # shard cells across cdcs-serve replicas
+//	cdcs -sweep grid.json -replicas ... -fleet-probe-interval 500ms \
+//	     -fleet-breaker-threshold 5 -hot-cell-latency 2s
+//	                           # tune the fleet view: probe period, breaker
+//	                           # sensitivity, hot-cell replication threshold
 //	cdcs -sweep-diff a.json b.json
 //	                           # align two saved SweepResults by cell hash
 //
@@ -24,12 +28,14 @@
 //	 "schemes": ["S-NUCA", "CDCS"], "seed": 1}
 //
 // With -replicas, each cell is routed to the replica its content address
-// rendezvous-hashes to (retrying on survivors if one is down) and the
-// merged result is byte-identical to a local run — the replicas' result
-// caches, persistent with -cache-dir, absorb repeated and overlapping
-// sweeps. -sweep-diff reads two -sweep-json files, aligns cells by content
-// hash and reports per-cell and aggregate weighted-speedup deltas plus
-// cells present in only one file.
+// rendezvous-hashes to, steered among the top rendezvous holders by a live
+// fleet view (health probes, per-replica circuit breakers, load-aware
+// ordering — a slow or dead replica sheds its cells to survivors without
+// operator action) and the merged result is byte-identical to a local run —
+// the replicas' result caches, persistent with -cache-dir, absorb repeated
+// and overlapping sweeps. -sweep-diff reads two -sweep-json files, aligns
+// cells by content hash and reports per-cell and aggregate weighted-speedup
+// deltas plus cells present in only one file.
 //
 // Simulation jobs fan out over a worker pool (-j, default all cores);
 // results are bit-identical for any worker count. Ctrl-C cancels the run.
@@ -75,6 +81,10 @@ func run() int {
 		sweepJSON = flag.Bool("sweep-json", false, "with -sweep or -sweep-diff, emit the full result as JSON instead of a table")
 		replicas  = flag.String("replicas", "", "with -sweep, comma-separated cdcs-serve base URLs to shard cells across")
 		sweepDiff = flag.Bool("sweep-diff", false, "diff two saved SweepResult files (two positional args), aligned by cell content hash")
+
+		probeInterval    = flag.Duration("fleet-probe-interval", 0, "with -replicas, health-probe period over the replicas (0 = default 2s, negative disables probing)")
+		breakerThreshold = flag.Int("fleet-breaker-threshold", 0, "with -replicas, consecutive failures that open a replica's circuit breaker (0 = default 3)")
+		hotCellLatency   = flag.Duration("hot-cell-latency", 0, "with -replicas, replicate cells slower than this to a second holder (0 disables)")
 	)
 	flag.Parse()
 
@@ -103,6 +113,23 @@ func run() int {
 	if *replicas != "" && *sweep == "" {
 		fmt.Fprintln(os.Stderr, "cdcs: -replicas requires -sweep")
 		return 2
+	}
+	if *replicas == "" {
+		var fleetFlags []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "fleet-probe-interval", "fleet-breaker-threshold", "hot-cell-latency":
+				fleetFlags = append(fleetFlags, "-"+f.Name)
+			}
+		})
+		if len(fleetFlags) > 0 {
+			verb := "requires"
+			if len(fleetFlags) > 1 {
+				verb = "require"
+			}
+			fmt.Fprintf(os.Stderr, "cdcs: %s %s -replicas\n", strings.Join(fleetFlags, ", "), verb)
+			return 2
+		}
 	}
 	if *sweep != "" || *sweepDiff {
 		// The grid/result files are the single source of truth: reject
@@ -205,6 +232,10 @@ func run() int {
 			Progress: func(done, total int) {
 				fmt.Fprintf(os.Stderr, "\rsweep %d/%d cells", done, total)
 			},
+		}, cdcs.DistributedSweepOptions{
+			FleetProbeInterval:    *probeInterval,
+			FleetBreakerThreshold: *breakerThreshold,
+			HotCellLatency:        *hotCellLatency,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "\rcdcs: sweep: %v\n", err)
 			return 1
@@ -264,8 +295,9 @@ func readSweepRequest(path string) (cdcs.SweepRequest, error) {
 // runSweep evaluates the grid — locally, or sharded across -replicas — and
 // writes a per-cell table (or, with jsonOut, the full SweepResult document)
 // to w. Progress goes to stderr via the options' callback; the line is
-// cleared before the table prints.
-func runSweep(w io.Writer, path string, jsonOut bool, replicas string, opts cdcs.RunOptions) error {
+// cleared before the table prints. dopts carries the fleet knobs for the
+// distributed path (parallelism, context and progress come from opts).
+func runSweep(w io.Writer, path string, jsonOut bool, replicas string, opts cdcs.RunOptions, dopts cdcs.DistributedSweepOptions) error {
 	req, err := readSweepRequest(path)
 	if err != nil {
 		return err
@@ -280,20 +312,29 @@ func runSweep(w io.Writer, path string, jsonOut bool, replicas string, opts cdcs
 		urls := strings.Split(replicas, ",")
 		fmt.Fprintf(os.Stderr, "sweep: %d cells over %d schemes across %d replicas\n",
 			canon.NumCells(), len(canon.Schemes), len(urls))
+		dopts.Parallelism = opts.Parallelism
+		dopts.Context = opts.Context
+		dopts.Progress = opts.Progress
 		var stats *cdcs.SweepReplicaStats
-		res, stats, err = cdcs.SweepDistributed(canon, urls, cdcs.DistributedSweepOptions{
-			Parallelism: opts.Parallelism,
-			Context:     opts.Context,
-			Progress:    opts.Progress,
-		})
+		res, stats, err = cdcs.SweepDistributed(canon, urls, dopts)
 		fmt.Fprintf(os.Stderr, "\r%-40s\r", "") // clear the progress line
 		if stats != nil {
 			for _, url := range slices.Sorted(maps.Keys(stats.Cells)) {
-				fmt.Fprintf(os.Stderr, "sweep: %-32s %d cells (%d failed requests)\n",
-					url, stats.Cells[url], stats.Failures[url])
+				health := ""
+				if h, ok := stats.Fleet[url]; ok {
+					health = fmt.Sprintf(", %s, ewma %.1fms", h.State, h.EWMALatencyMs)
+					if h.BreakerTrips > 0 {
+						health += fmt.Sprintf(", %d breaker trips", h.BreakerTrips)
+					}
+				}
+				fmt.Fprintf(os.Stderr, "sweep: %-32s %d cells (%d failed requests%s)\n",
+					url, stats.Cells[url], stats.Failures[url], health)
 			}
 			if stats.Retried > 0 {
-				fmt.Fprintf(os.Stderr, "sweep: %d cells retried on surviving replicas\n", stats.Retried)
+				fmt.Fprintf(os.Stderr, "sweep: %d cells moved off their first-choice replica\n", stats.Retried)
+			}
+			if stats.Replicated > 0 {
+				fmt.Fprintf(os.Stderr, "sweep: %d hot cells replicated to a second holder\n", stats.Replicated)
 			}
 		}
 		if err != nil {

@@ -8,6 +8,16 @@
 // each retries down its own rendezvous ranking onto surviving replicas, the
 // same replicas those cells would hash to if the dead one were removed from
 // the set. No coordination state exists outside the replicas' caches.
+//
+// With a fleet view attached (Options.Fleet), routing also reacts to load
+// and health: each cell goes to the least-loaded healthy replica among its
+// top-K rendezvous holders (cache affinity preserved — the holders don't
+// change, only the order among them), breaker-open replicas drop to the
+// back of the retry path, and cells whose service latency exceeds
+// Options.HotLatency are replicated in the background to a second holder so
+// warm copies exist on more than one replica. Routing only ever changes
+// *where* a cell is computed, never *what* it returns: responses are a pure
+// function of the cell's content address.
 package fanout
 
 import (
@@ -21,6 +31,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"cdcs/internal/fleet"
 )
 
 // Cell is one unit of work: Body is POSTed to the chosen replica, and Key
@@ -39,6 +52,8 @@ type Result struct {
 	// Attempts is the number of requests issued for this cell (1 = no
 	// retry).
 	Attempts int
+	// Latency is how long the serving request took.
+	Latency time.Duration
 	// Body is the replica's response body, verbatim.
 	Body []byte
 }
@@ -47,7 +62,7 @@ type Result struct {
 type ReplicaStats struct {
 	// Assigned counts cells whose rendezvous ranking put this replica
 	// first; Served counts cells whose response this replica produced.
-	// They differ only when retries moved work.
+	// They differ when retries or load-aware routing moved work.
 	Assigned int `json:"assigned"`
 	Served   int `json:"served"`
 	// Failed counts requests this replica failed (connection errors and
@@ -58,8 +73,12 @@ type ReplicaStats struct {
 // Stats summarizes a fan-out.
 type Stats struct {
 	Replicas map[string]ReplicaStats `json:"replicas"`
-	// Retried counts cells that needed more than one attempt.
+	// Retried counts cells that were not served by their first-choice
+	// replica (the head of their routing order).
 	Retried int `json:"retried"`
+	// Replicated counts hot cells successfully re-posted to a second
+	// rendezvous holder (see Options.HotLatency).
+	Replicated int `json:"replicated,omitempty"`
 }
 
 // Options tunes Do. The zero value is usable.
@@ -75,11 +94,44 @@ type Options struct {
 	// OnProgress, if set, is called after each completed cell with (done,
 	// total).
 	OnProgress func(done, total int)
+	// Fleet, when non-nil, supplies health-checked, load-aware routing:
+	// each cell's rendezvous ranking is reordered by fleet.Order
+	// (least-loaded healthy holder among the top-K first, breaker-open
+	// replicas last) and every request's outcome feeds the view.
+	Fleet *fleet.Fleet
+	// HotLatency, with Fleet set, marks a cell hot when its serving
+	// request took longer than this. A hot cell is re-POSTed in the
+	// background to its next-ranked healthy holder, which warms its cache
+	// (from its own compute, or via its peer tier's /v1/blob pull when so
+	// configured) so later requests for the cell have a second warm home.
+	// 0 disables replication.
+	HotLatency time.Duration
+}
+
+// deadSet caches per-fan-out death verdicts: once a replica fails a request
+// with a retriable error it is skipped by later cells (until a success or a
+// recovered breaker clears it), so an N-cell sweep against a dead replica
+// pays O(1) dial timeouts instead of O(N).
+type deadSet struct {
+	mu sync.Mutex
+	m  map[string]bool
+}
+
+func (d *deadSet) isDead(r string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.m[r]
+}
+
+func (d *deadSet) mark(r string, dead bool) {
+	d.mu.Lock()
+	d.m[r] = dead
+	d.mu.Unlock()
 }
 
 // Do fans cells out across replicas and returns their results ordered by
 // cell (results[i] belongs to cells[i]). Each cell is tried on every
-// replica in its rendezvous order before the whole fan-out fails; a 4xx
+// replica in its routing order before the whole fan-out fails; a 4xx
 // response fails immediately (the request itself is invalid — no other
 // replica will accept it). On error the first failure is returned and
 // in-flight work is canceled.
@@ -120,6 +172,7 @@ func Do(ctx context.Context, replicas []string, cells []Cell, opts Options) ([]R
 		firstErr error
 		wg       sync.WaitGroup
 	)
+	dead := &deadSet{m: map[string]bool{}}
 	results := make([]Result, len(cells))
 	next := make(chan int)
 	fail := func(err error) {
@@ -131,6 +184,32 @@ func Do(ctx context.Context, replicas []string, cells []Cell, opts Options) ([]R
 		cancel()
 	}
 
+	// Hot-cell replication rides behind the fan-out: bounded, best-effort
+	// background POSTs whose only job is warming a second holder's cache.
+	// Do waits for them so callers can observe Replicated deterministically.
+	var repWG sync.WaitGroup
+	repSem := make(chan struct{}, 2)
+	replicate := func(cell Cell, target string) {
+		repWG.Add(1)
+		go func() {
+			defer repWG.Done()
+			select {
+			case repSem <- struct{}{}:
+				defer func() { <-repSem }()
+			case <-ctx.Done():
+				return
+			}
+			end := opts.Fleet.Begin(target)
+			_, _, err := post(ctx, client, target+path, cell.Body)
+			end(err)
+			if err == nil {
+				mu.Lock()
+				stats.Replicated++
+				mu.Unlock()
+			}
+		}()
+	}
+
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -138,13 +217,17 @@ func Do(ctx context.Context, replicas []string, cells []Cell, opts Options) ([]R
 			for i := range next {
 				cell := cells[i]
 				ranked := Rank(reps, cell.Key)
+				route := ranked
+				if opts.Fleet != nil {
+					route = opts.Fleet.Order(ranked)
+				}
 				mu.Lock()
 				rs := stats.Replicas[ranked[0]]
 				rs.Assigned++
 				stats.Replicas[ranked[0]] = rs
 				mu.Unlock()
 
-				res, served, failed, err := tryReplicas(ctx, client, ranked, path, cell)
+				res, served, failed, err := tryReplicas(ctx, client, route, path, cell, opts.Fleet, dead)
 				mu.Lock()
 				for _, r := range failed {
 					rs := stats.Replicas[r]
@@ -155,7 +238,7 @@ func Do(ctx context.Context, replicas []string, cells []Cell, opts Options) ([]R
 					rs := stats.Replicas[served]
 					rs.Served++
 					stats.Replicas[served] = rs
-					if res.Attempts > 1 {
+					if served != route[0] {
 						stats.Retried++
 					}
 					results[i] = res
@@ -166,6 +249,11 @@ func Do(ctx context.Context, replicas []string, cells []Cell, opts Options) ([]R
 						opts.OnProgress(done, len(cells))
 					}
 					mu.Unlock()
+					if opts.Fleet != nil && opts.HotLatency > 0 && res.Latency > opts.HotLatency {
+						if target := opts.Fleet.Alternate(ranked, served); target != "" {
+							replicate(cell, target)
+						}
+					}
 					continue
 				}
 				mu.Unlock()
@@ -185,6 +273,7 @@ feed:
 	}
 	close(next)
 	wg.Wait()
+	repWG.Wait()
 
 	if firstErr != nil {
 		return nil, stats, firstErr
@@ -195,26 +284,71 @@ feed:
 	return results, stats, nil
 }
 
-// tryReplicas walks a cell's rendezvous ranking until a replica answers.
-// It returns the replicas that failed along the way so the caller can
+// tryReplicas walks a cell's routing order until a replica answers,
+// skipping replicas already marked dead this fan-out (unless the fleet
+// view says they recovered). If every candidate was skipped on a cached
+// verdict, the skipped ones are retried last — verdicts can be stale, and
+// exhausting the ranking, not a stale verdict, must be the only way a cell
+// fails. Returns the replicas that failed along the way so the caller can
 // account them.
-func tryReplicas(ctx context.Context, client *http.Client, ranked []string, path string, cell Cell) (res Result, served string, failed []string, err error) {
+func tryReplicas(ctx context.Context, client *http.Client, route []string, path string, cell Cell, fl *fleet.Fleet, dead *deadSet) (res Result, served string, failed []string, err error) {
 	var lastErr error
-	for attempt, replica := range ranked {
+	attempts := 0
+	// tryOne issues one request; done reports success, terminal a
+	// non-retriable failure.
+	tryOne := func(replica string) (ok bool, terminal error) {
 		if err := ctx.Err(); err != nil {
-			return Result{}, "", failed, err
+			return false, err
 		}
-		body, retriable, err := post(ctx, client, replica+path, cell.Body)
-		if err == nil {
-			return Result{Index: cell.Index, Replica: replica, Attempts: attempt + 1, Body: body}, replica, failed, nil
+		attempts++
+		var end func(error)
+		if fl != nil {
+			end = fl.Begin(replica)
+		}
+		start := time.Now()
+		body, retriable, perr := post(ctx, client, replica+path, cell.Body)
+		if end != nil {
+			end(perr)
+		}
+		if perr == nil {
+			dead.mark(replica, false)
+			res = Result{Index: cell.Index, Replica: replica, Attempts: attempts, Latency: time.Since(start), Body: body}
+			served = replica
+			return true, nil
 		}
 		if !retriable {
-			return Result{}, "", failed, fmt.Errorf("fanout: cell %d on %s: %w", cell.Index, replica, err)
+			return false, fmt.Errorf("fanout: cell %d on %s: %w", cell.Index, replica, perr)
 		}
+		dead.mark(replica, true)
 		failed = append(failed, replica)
-		lastErr = err
+		lastErr = perr
+		return false, nil
 	}
-	return Result{}, "", failed, fmt.Errorf("fanout: cell %d failed on all %d replicas: %w", cell.Index, len(ranked), lastErr)
+
+	var skipped []string
+	for _, replica := range route {
+		if dead.isDead(replica) && (fl == nil || !fl.Healthy(replica)) {
+			skipped = append(skipped, replica)
+			continue
+		}
+		ok, terminal := tryOne(replica)
+		if terminal != nil {
+			return Result{}, "", failed, terminal
+		}
+		if ok {
+			return res, served, failed, nil
+		}
+	}
+	for _, replica := range skipped {
+		ok, terminal := tryOne(replica)
+		if terminal != nil {
+			return Result{}, "", failed, terminal
+		}
+		if ok {
+			return res, served, failed, nil
+		}
+	}
+	return Result{}, "", failed, fmt.Errorf("fanout: cell %d failed on all %d replicas: %w", cell.Index, len(route), lastErr)
 }
 
 // post issues one POST. retriable reports whether another replica might
@@ -256,9 +390,9 @@ func trim(b []byte) string {
 
 // NormalizeReplicas trims trailing slashes and drops empties and
 // duplicates, preserving first-seen order. Exported so everything that
-// names replicas — the sweep fan-out here, the result store's peer tier —
-// normalizes identically, which is what keeps their rendezvous rankings
-// (Rank) aligned on the same URL strings.
+// names replicas — the sweep fan-out here, the result store's peer tier,
+// the fleet view — normalizes identically, which is what keeps their
+// rendezvous rankings (Rank) aligned on the same URL strings.
 func NormalizeReplicas(replicas []string) []string {
 	seen := map[string]bool{}
 	var out []string
@@ -300,9 +434,9 @@ func Rank(replicas []string, key string) []string {
 		}
 		return ss[i].replica < ss[j].replica
 	})
-	out := make([]string, len(ss))
-	for i, s := range ss {
-		out[i] = s.replica
+	out := make([]string, 0, len(ss))
+	for _, s := range ss {
+		out = append(out, s.replica)
 	}
 	return out
 }

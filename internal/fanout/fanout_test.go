@@ -9,6 +9,10 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"cdcs/internal/fleet"
+	"cdcs/internal/testutil"
 )
 
 // echoReplica serves /v1/compare by echoing "<name>:<body>" so tests can
@@ -233,5 +237,179 @@ func TestNormalizeReplicas(t *testing.T) {
 	got := NormalizeReplicas([]string{" http://a/ ", "", "http://a", "http://b"})
 	if strings.Join(got, ",") != "http://a,http://b" {
 		t.Fatalf("normalize = %v", got)
+	}
+}
+
+// TestDoCachesDeathVerdictPerFanOut is the regression test for the O(N)
+// dial-timeout bug: before the per-fan-out dead set, every cell ranked to a
+// dead replica paid its own connection attempt. Now the first failure marks
+// the replica dead for the rest of the fan-out, so an N-cell sweep against
+// a dead replica touches it O(1) times, not O(N).
+func TestDoCachesDeathVerdictPerFanOut(t *testing.T) {
+	alive := echoReplica(t, "a", nil)
+	backend := echoReplica(t, "b", nil)
+	proxy, err := testutil.NewFaultProxy(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proxy.Close)
+	proxy.Kill()
+
+	// Parallelism 1 serializes the cells, so after the first verdict no
+	// concurrent cell can be mid-flight toward the dead replica.
+	cells := makeCells(24)
+	results, stats, err := Do(context.Background(), []string{alive.URL, proxy.URL()}, cells, Options{
+		Parallelism: 1,
+	})
+	if err != nil {
+		t.Fatalf("fan-out with one dead replica failed: %v", err)
+	}
+	if len(results) != len(cells) {
+		t.Fatalf("%d results, want %d", len(results), len(cells))
+	}
+	if got := proxy.DeadRequests(); got != 1 {
+		t.Errorf("dead replica touched %d times for %d cells, want exactly 1", got, len(cells))
+	}
+	if got := stats.Replicas[alive.URL].Served; got != len(cells) {
+		t.Errorf("survivor served %d, want %d", got, len(cells))
+	}
+}
+
+// TestDoFleetRevivalClearsDeadVerdict: a dead verdict must not outlive the
+// replica's recovery when a fleet view is watching — Healthy overrides the
+// cached verdict, so a revived replica regains traffic within the same
+// fan-out. (Without a fleet, the verdict correctly lasts the fan-out.)
+func TestDoFleetRevivalClearsDeadVerdict(t *testing.T) {
+	backend := echoReplica(t, "b", nil)
+	proxy, err := testutil.NewFaultProxy(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proxy.Close)
+	alive := echoReplica(t, "a", nil)
+
+	// No prober; breaker threshold 1 so the single failure opens it, and a
+	// short cooldown lets Healthy turn true again mid-fan-out.
+	fl := fleet.New([]string{alive.URL, proxy.URL()}, fleet.Options{
+		ProbeInterval:    -1,
+		BreakerThreshold: 1,
+		BreakerCooldown:  50 * time.Millisecond,
+	})
+	defer fl.Close()
+
+	proxy.Kill()
+	cells := makeCells(12)
+	var revived atomic.Bool
+	_, _, err = Do(context.Background(), []string{alive.URL, proxy.URL()}, cells, Options{
+		Parallelism: 1,
+		Fleet:       fl,
+		OnProgress: func(done, total int) {
+			if done == 2 && !revived.Load() {
+				proxy.Revive()
+				revived.Store(true)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("fan-out across a revival failed: %v", err)
+	}
+	// After revival + cooldown the proxy must see real traffic again:
+	// served requests beyond the initial death touch.
+	deadline := time.Now().Add(2 * time.Second)
+	for proxy.Requests() <= proxy.DeadRequests() {
+		if time.Now().After(deadline) {
+			t.Fatalf("revived replica never served traffic: %d requests, %d while dead",
+				proxy.Requests(), proxy.DeadRequests())
+		}
+		// A second fan-out after the cooldown must reach it.
+		time.Sleep(60 * time.Millisecond)
+		if _, _, err := Do(context.Background(), []string{alive.URL, proxy.URL()}, makeCells(12), Options{
+			Parallelism: 1,
+			Fleet:       fl,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDoFleetSteersLoadOffSlowReplica: with a fleet view, a slow-but-alive
+// replica sheds load to the other top-K holder — fewer served cells, no
+// failures, and every response still correct.
+func TestDoFleetSteersLoadOffSlowReplica(t *testing.T) {
+	fast := echoReplica(t, "fast", nil)
+	slowBackend := echoReplica(t, "slow", nil)
+	proxy, err := testutil.NewFaultProxy(slowBackend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proxy.Close)
+	proxy.SetLatency(40 * time.Millisecond)
+
+	reps := []string{fast.URL, proxy.URL()}
+	fl := fleet.New(reps, fleet.Options{ProbeInterval: -1, TopK: 2})
+	defer fl.Close()
+
+	cells := makeCells(48)
+	results, stats, err := Do(context.Background(), reps, cells, Options{
+		Parallelism: 2,
+		Fleet:       fl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if !strings.HasSuffix(string(r.Body), fmt.Sprintf(":c%d", i)) {
+			t.Errorf("cell %d body %q corrupted by steering", i, r.Body)
+		}
+	}
+	sSlow, sFast := stats.Replicas[proxy.URL()], stats.Replicas[fast.URL]
+	if sSlow.Failed != 0 || sFast.Failed != 0 {
+		t.Errorf("steering produced failures: slow=%d fast=%d", sSlow.Failed, sFast.Failed)
+	}
+	if sSlow.Served+sFast.Served != len(cells) {
+		t.Fatalf("served %d+%d != %d", sSlow.Served, sFast.Served, len(cells))
+	}
+	// The whole point: the slow replica's share drops below the fast one's
+	// (rendezvous alone would split roughly evenly).
+	if sSlow.Served >= sFast.Served {
+		t.Errorf("slow replica served %d ≥ fast's %d; load was not steered", sSlow.Served, sFast.Served)
+	}
+}
+
+// TestDoHotCellReplication: with HotLatency below every service time, each
+// cell is hot and gets re-POSTed to its alternate holder, so both replicas
+// end up warm for every key.
+func TestDoHotCellReplication(t *testing.T) {
+	var aHits, bHits atomic.Int64
+	a := echoReplica(t, "a", &aHits)
+	b := echoReplica(t, "b", &bHits)
+	reps := []string{a.URL, b.URL}
+	fl := fleet.New(reps, fleet.Options{ProbeInterval: -1, TopK: 2})
+	defer fl.Close()
+
+	cells := makeCells(16)
+	_, stats, err := Do(context.Background(), reps, cells, Options{
+		Fleet:      fl,
+		HotLatency: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Replicated != len(cells) {
+		t.Errorf("Replicated = %d, want %d (every cell hot, alternate always available)",
+			stats.Replicated, len(cells))
+	}
+	// Serving plus replication touches both replicas once per cell.
+	if total := aHits.Load() + bHits.Load(); total != int64(2*len(cells)) {
+		t.Errorf("total requests = %d, want %d", total, 2*len(cells))
+	}
+
+	// Without a fleet (or with HotLatency 0) nothing replicates.
+	_, stats, err = Do(context.Background(), reps, cells, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Replicated != 0 {
+		t.Errorf("Replicated = %d without HotLatency, want 0", stats.Replicated)
 	}
 }

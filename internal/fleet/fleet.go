@@ -1,0 +1,526 @@
+// Package fleet maintains a live view of a set of HTTP replicas: per-
+// replica load and latency instrumentation fed by every request, health-
+// checked membership via periodic probes of each replica's /healthz, and a
+// three-state circuit breaker per replica (closed → open after consecutive
+// failures → half-open trial after a cooldown → closed on success), so
+// replicas leave and rejoin the serving set live, without operator action.
+//
+// Consumers — the sweep fan-out client (internal/fanout) and the result
+// store's peer tier (internal/resultstore) — ask the view two questions:
+// "is this replica usable right now?" (Healthy) and "in what order should
+// these rendezvous candidates be tried?" (Order). Order keeps the
+// DistCache-style two-layer shape: the top-K rendezvous holders of a key
+// stay the preferred servers (cache affinity), but among them the
+// least-loaded healthy one goes first, so load skew steers requests without
+// scattering the key across the whole fleet.
+//
+// The view deliberately knows nothing about rendezvous hashing or request
+// semantics: callers hand it candidate lists already ranked by fanout.Rank
+// and report request outcomes via Begin; the view only reorders and counts.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// State is a replica's circuit-breaker state.
+type State int
+
+const (
+	// StateClosed: healthy, serving normally.
+	StateClosed State = iota
+	// StateOpen: tripped on consecutive failures; not routed to until the
+	// cooldown elapses (except as a last resort when nothing else is left).
+	StateOpen
+	// StateHalfOpen: cooldown elapsed; trial traffic admitted. A success
+	// closes the breaker, a failure re-opens it.
+	StateHalfOpen
+)
+
+// String implements fmt.Stringer with the conventional breaker names.
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Options tunes a Fleet. The zero value picks sensible defaults.
+type Options struct {
+	// ProbeInterval is the period of the background /healthz probes
+	// (default 2s). Negative disables probing entirely — request outcomes
+	// alone then drive the breakers, so a dead replica is only noticed
+	// when traffic hits it.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request (default 1s).
+	ProbeTimeout time.Duration
+	// ProbePath is the liveness endpoint probed on each replica (default
+	// "/healthz").
+	ProbePath string
+	// BreakerThreshold is the number of consecutive failures (requests or
+	// probes) that opens a replica's breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before admitting
+	// half-open trial traffic (default 4×ProbeInterval, at least 1s).
+	BreakerCooldown time.Duration
+	// EWMAAlpha is the smoothing factor of the per-replica latency EWMA
+	// (default 0.3; higher tracks faster).
+	EWMAAlpha float64
+	// TopK is how many of a key's top rendezvous holders compete on load
+	// in Order (default 2; 1 restores pure rendezvous routing).
+	TopK int
+	// Client issues the probes (default: a client with ProbeTimeout).
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.ProbeInterval == 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = time.Second
+	}
+	if o.ProbePath == "" {
+		o.ProbePath = "/healthz"
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 4 * o.ProbeInterval
+		if o.BreakerCooldown < time.Second {
+			o.BreakerCooldown = time.Second
+		}
+	}
+	if o.EWMAAlpha <= 0 || o.EWMAAlpha > 1 {
+		o.EWMAAlpha = 0.3
+	}
+	if o.TopK <= 0 {
+		o.TopK = 2
+	}
+	return o
+}
+
+// rpsBuckets is the sliding-window width, in seconds, of the RPS estimate.
+const rpsBuckets = 8
+
+// replica is one member's live record. All mutable fields are guarded by mu.
+type replica struct {
+	url string
+
+	mu          sync.Mutex
+	state       State
+	consecFails int
+	openedAt    time.Time // when the breaker last opened
+	ewmaMs      float64   // EWMA of successful request service latency
+	inflight    int
+	requests    int64 // completed requests (not probes)
+	errors      int64 // failed requests (not probes)
+	trips       int64 // closed → open transitions
+	buckets     [rpsBuckets]int64
+	lastSec     int64
+}
+
+// Fleet is the live view. Create with New, start the prober with Start,
+// release with Close. All methods are safe for concurrent use.
+type Fleet struct {
+	opts Options
+	urls []string
+	reps map[string]*replica
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New builds a fleet view over replica base URLs (normalized the same way
+// fanout.NormalizeReplicas does, so the two layers agree on URL strings).
+// The prober does not run until Start.
+func New(replicas []string, opts Options) *Fleet {
+	f := &Fleet{
+		opts: opts.withDefaults(),
+		reps: map[string]*replica{},
+		stop: make(chan struct{}),
+	}
+	if f.opts.Client == nil {
+		f.opts.Client = &http.Client{Timeout: f.opts.ProbeTimeout}
+	}
+	for _, r := range replicas {
+		r = strings.TrimRight(strings.TrimSpace(r), "/")
+		if r == "" {
+			continue
+		}
+		if _, ok := f.reps[r]; ok {
+			continue
+		}
+		f.reps[r] = &replica{url: r}
+		f.urls = append(f.urls, r)
+	}
+	return f
+}
+
+// Replicas returns the normalized member URLs in listing order.
+func (f *Fleet) Replicas() []string { return f.urls }
+
+// Start launches the background health prober (a no-op when probing is
+// disabled). Safe to call more than once.
+func (f *Fleet) Start() {
+	if f.opts.ProbeInterval < 0 {
+		return
+	}
+	f.startOnce.Do(func() {
+		f.wg.Add(1)
+		go f.probeLoop()
+	})
+}
+
+// Close stops the prober and waits for in-flight probes. Safe to call more
+// than once, and without Start.
+func (f *Fleet) Close() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.wg.Wait()
+}
+
+// probeLoop probes every member each tick, concurrently, so one hung
+// replica cannot delay the others' verdicts.
+func (f *Fleet) probeLoop() {
+	defer f.wg.Done()
+	t := time.NewTicker(f.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+		}
+		var wg sync.WaitGroup
+		for _, url := range f.urls {
+			wg.Add(1)
+			go func(r *replica) {
+				defer wg.Done()
+				f.probeOne(r)
+			}(f.reps[url])
+		}
+		wg.Wait()
+	}
+}
+
+// probeOne issues one liveness probe and feeds its verdict into the breaker.
+// Probes drive membership only: they never touch the latency EWMA or the
+// request counters, so an idle fleet's metrics stay request-shaped.
+func (f *Fleet) probeOne(r *replica) {
+	ctx, cancel := context.WithTimeout(context.Background(), f.opts.ProbeTimeout)
+	defer cancel()
+	ok := false
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url+f.opts.ProbePath, nil)
+	if err == nil {
+		resp, rerr := f.opts.Client.Do(req)
+		if rerr == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			ok = resp.StatusCode == http.StatusOK
+		}
+	}
+	r.mu.Lock()
+	if ok {
+		r.successLocked()
+	} else {
+		r.failureLocked(f.opts.BreakerThreshold, time.Now())
+	}
+	r.mu.Unlock()
+}
+
+// successLocked resets the failure streak and closes the breaker: a replica
+// that answers — trial traffic in half-open, a probe after a restart — has
+// rejoined.
+func (r *replica) successLocked() {
+	r.consecFails = 0
+	r.state = StateClosed
+}
+
+// failureLocked advances the failure streak and the breaker state machine.
+func (r *replica) failureLocked(threshold int, now time.Time) {
+	r.consecFails++
+	switch r.state {
+	case StateClosed:
+		if r.consecFails >= threshold {
+			r.state = StateOpen
+			r.openedAt = now
+			r.trips++
+		}
+	case StateHalfOpen:
+		// Failed trial: back to open, restarting the cooldown. Not a new
+		// trip — the original outage is still in progress.
+		r.state = StateOpen
+		r.openedAt = now
+	case StateOpen:
+		// A last-resort attempt failed while open; nothing changes.
+	}
+}
+
+// usableLocked reports whether the replica may receive traffic, lazily
+// promoting open → half-open once the cooldown elapses (the state
+// transition that admits trial traffic).
+func (r *replica) usableLocked(cooldown time.Duration, now time.Time) bool {
+	switch r.state {
+	case StateClosed, StateHalfOpen:
+		return true
+	default:
+		if now.Sub(r.openedAt) >= cooldown {
+			r.state = StateHalfOpen
+			return true
+		}
+		return false
+	}
+}
+
+// Healthy reports whether url may receive traffic: breaker closed, or
+// half-open (including an open breaker whose cooldown just elapsed).
+// Unknown URLs are healthy — the view only vets its own members.
+func (f *Fleet) Healthy(url string) bool {
+	r := f.reps[url]
+	if r == nil {
+		return true
+	}
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.usableLocked(f.opts.BreakerCooldown, now)
+}
+
+// Begin records the start of one request to url and returns the completion
+// callback: call it with the request's outcome (nil on success) and the
+// view updates in-flight, latency EWMA, RPS, error counters and the
+// breaker. Unknown URLs return a no-op callback.
+func (f *Fleet) Begin(url string) func(err error) {
+	r := f.reps[url]
+	if r == nil {
+		return func(error) {}
+	}
+	start := time.Now()
+	r.mu.Lock()
+	r.inflight++
+	r.mu.Unlock()
+	return func(err error) {
+		now := time.Now()
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.inflight--
+		r.requests++
+		r.tickLocked(now.Unix())
+		if err != nil {
+			r.errors++
+			r.failureLocked(f.opts.BreakerThreshold, now)
+			return
+		}
+		ms := float64(now.Sub(start)) / float64(time.Millisecond)
+		if r.ewmaMs == 0 {
+			r.ewmaMs = ms
+		} else {
+			r.ewmaMs = f.opts.EWMAAlpha*ms + (1-f.opts.EWMAAlpha)*r.ewmaMs
+		}
+		r.successLocked()
+	}
+}
+
+// tickLocked advances the RPS ring to sec and counts one request in it.
+func (r *replica) tickLocked(sec int64) {
+	if d := sec - r.lastSec; d > 0 {
+		if d > rpsBuckets {
+			d = rpsBuckets
+		}
+		for i := int64(0); i < d; i++ {
+			r.buckets[(r.lastSec+1+i)%rpsBuckets] = 0
+		}
+		r.lastSec = sec
+	}
+	r.buckets[sec%rpsBuckets]++
+}
+
+// Order returns the routing order for candidates already ranked by
+// rendezvous (fanout.Rank): the healthy replicas among the top-K holders
+// first, least-loaded first (fewest in-flight requests, then lowest EWMA
+// latency, then rendezvous position — so an idle fleet degenerates to pure
+// rendezvous routing and keeps its cache affinity), followed by the
+// remaining healthy candidates in rank order, with breaker-open replicas
+// last as the final resort. Candidates the view does not track keep their
+// rank positions and count as healthy.
+func (f *Fleet) Order(ranked []string) []string {
+	if len(ranked) < 2 {
+		return ranked
+	}
+	type cand struct {
+		url      string
+		pos      int
+		healthy  bool
+		inflight int
+		ewmaMs   float64
+	}
+	now := time.Now()
+	cands := make([]cand, len(ranked))
+	for i, url := range ranked {
+		c := cand{url: url, pos: i, healthy: true}
+		if r := f.reps[url]; r != nil {
+			r.mu.Lock()
+			c.healthy = r.usableLocked(f.opts.BreakerCooldown, now)
+			c.inflight = r.inflight
+			c.ewmaMs = r.ewmaMs
+			r.mu.Unlock()
+		}
+		cands[i] = c
+	}
+	k := f.opts.TopK
+	if k > len(cands) {
+		k = len(cands)
+	}
+	// The top-K healthy holders compete on load; everything after keeps
+	// rank order within its health class.
+	head := make([]cand, 0, k)
+	var tail, down []cand
+	for i, c := range cands {
+		switch {
+		case !c.healthy:
+			down = append(down, c)
+		case i < k:
+			head = append(head, c)
+		default:
+			tail = append(tail, c)
+		}
+	}
+	sort.SliceStable(head, func(i, j int) bool {
+		if head[i].inflight != head[j].inflight {
+			return head[i].inflight < head[j].inflight
+		}
+		if head[i].ewmaMs != head[j].ewmaMs {
+			return head[i].ewmaMs < head[j].ewmaMs
+		}
+		return head[i].pos < head[j].pos
+	})
+	out := make([]string, 0, len(ranked))
+	for _, c := range head {
+		out = append(out, c.url)
+	}
+	for _, c := range tail {
+		out = append(out, c.url)
+	}
+	for _, c := range down {
+		out = append(out, c.url)
+	}
+	return out
+}
+
+// Alternate returns the first healthy replica among ranked's top-K holders
+// other than exclude — the target a hot key is replicated to so a second
+// warm copy exists inside the key's rendezvous neighborhood. Empty when no
+// such holder exists.
+func (f *Fleet) Alternate(ranked []string, exclude string) string {
+	k := f.opts.TopK
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	for _, url := range ranked[:k] {
+		if url != exclude && f.Healthy(url) {
+			return url
+		}
+	}
+	return ""
+}
+
+// ReplicaStats is one member's snapshot.
+type ReplicaStats struct {
+	URL string `json:"url"`
+	// State is the breaker state: "closed", "open" or "half-open".
+	State string `json:"state"`
+	// EWMALatencyMs is the smoothed service latency of successful requests,
+	// in milliseconds (0 until the first success).
+	EWMALatencyMs float64 `json:"ewma_latency_ms"`
+	// Inflight is the number of requests currently outstanding.
+	Inflight int `json:"inflight"`
+	// RPS is the completed-request rate over the last few seconds.
+	RPS float64 `json:"rps"`
+	// Requests and Errors count completed and failed requests (probes are
+	// membership-only and excluded).
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// Trips counts closed → open breaker transitions.
+	Trips int64 `json:"breaker_trips"`
+}
+
+// StateCode maps a ReplicaStats.State string to its numeric gauge value
+// (closed=0, open=1, half-open=2), for metrics emission.
+func StateCode(state string) int {
+	switch state {
+	case StateOpen.String():
+		return 1
+	case StateHalfOpen.String():
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Snapshot returns per-replica stats in listing order.
+func (f *Fleet) Snapshot() []ReplicaStats {
+	now := time.Now()
+	out := make([]ReplicaStats, 0, len(f.urls))
+	for _, url := range f.urls {
+		r := f.reps[url]
+		r.mu.Lock()
+		r.tickRPSOnlyLocked(now.Unix())
+		var n int64
+		for _, b := range r.buckets {
+			n += b
+		}
+		out = append(out, ReplicaStats{
+			URL:           r.url,
+			State:         r.state.String(),
+			EWMALatencyMs: r.ewmaMs,
+			Inflight:      r.inflight,
+			RPS:           float64(n) / rpsBuckets,
+			Requests:      r.requests,
+			Errors:        r.errors,
+			Trips:         r.trips,
+		})
+		r.mu.Unlock()
+	}
+	return out
+}
+
+// tickRPSOnlyLocked expires stale RPS buckets without counting a request,
+// so an idle replica's rate decays to zero between snapshots.
+func (r *replica) tickRPSOnlyLocked(sec int64) {
+	if d := sec - r.lastSec; d > 0 {
+		if d > rpsBuckets {
+			d = rpsBuckets
+		}
+		for i := int64(0); i < d; i++ {
+			r.buckets[(r.lastSec+1+i)%rpsBuckets] = 0
+		}
+		r.lastSec = sec
+	}
+}
+
+// Trips sums breaker trips across the fleet.
+func (f *Fleet) Trips() int64 {
+	var n int64
+	for _, url := range f.urls {
+		r := f.reps[url]
+		r.mu.Lock()
+		n += r.trips
+		r.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,46 @@
+package resultstore
+
+import (
+	"crypto/sha256"
+	"fmt"
+)
+
+// Blob framing: what /v1/blob responses travel in between replicas. The
+// entry frame (EncodeEntry) proves the payload arrived intact, but not that
+// it answers the address that was asked — a stale cache in front of a
+// replica, a misrouted proxy, or a buggy peer can return a perfectly valid
+// frame for the *wrong* hash, and an unkeyed frame would let that entry
+// poison the requester's local tiers under the wrong address forever (keys
+// are content addresses of requests, so the payload alone cannot be checked
+// against the key). The blob frame therefore binds the key: a digest of the
+// content address the responder believes it is answering rides ahead of the
+// entry frame, and DecodeBlob rejects any response whose binding does not
+// match the address the requester asked for.
+const blobMagic = "cdcsbl1\n"
+
+const blobHeaderLen = len(blobMagic) + sha256.Size
+
+// EncodeBlob frames an entry for /v1/blob transport: blob magic, the
+// SHA-256 of the content address key, then the full entry frame
+// (EncodeEntry) over the payload.
+func EncodeBlob(key string, val []byte) []byte {
+	buf := make([]byte, 0, blobHeaderLen+diskHeaderLen+len(val))
+	buf = append(buf, blobMagic...)
+	sum := sha256.Sum256([]byte(key))
+	buf = append(buf, sum[:]...)
+	return append(buf, EncodeEntry(val)...)
+}
+
+// DecodeBlob verifies a /v1/blob response against the content address the
+// requester asked for and returns the payload: the key binding must match
+// key, and the inner entry frame must verify like a local disk read.
+func DecodeBlob(key string, raw []byte) ([]byte, error) {
+	if len(raw) < blobHeaderLen || string(raw[:len(blobMagic)]) != blobMagic {
+		return nil, fmt.Errorf("resultstore: bad blob header")
+	}
+	sum := sha256.Sum256([]byte(key))
+	if string(raw[len(blobMagic):blobHeaderLen]) != string(sum[:]) {
+		return nil, fmt.Errorf("resultstore: blob answers a different content address than %.12s", key)
+	}
+	return DecodeEntry(raw[blobHeaderLen:])
+}

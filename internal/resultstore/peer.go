@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"cdcs/internal/fanout"
+	"cdcs/internal/fleet"
 )
 
 // PeerTier consults sibling replicas before the chain falls through to a
@@ -21,18 +23,41 @@ import (
 // first pass over a corpus fills memory and disk from its peers, and only
 // work the whole fleet has never seen burns a simulation.
 //
-// Fetched entries arrive in the same checksummed frame the disk tier
-// stores (EncodeEntry), so a damaged or truncated peer response is detected
-// exactly like local bit rot: counted in Errors and treated as a miss,
-// never served.
+// Fetched entries arrive in the keyed blob frame (EncodeBlob): the entry
+// checksum detects damage in transit exactly like local bit rot, and the
+// key binding rejects a stale-but-valid response for the wrong address, so
+// a confused peer can never poison this replica's tiers. Both failure
+// classes count in Errors and read as misses, never get served.
+//
+// Concurrent fetches of one address coalesce onto a single network walk:
+// the tier keeps its own per-key singleflight, so N simultaneous lookups of
+// a cold hash (a sweep's worth of clients converging on one cell) cost one
+// peer round trip, not N.
+//
+// With a fleet view attached (UseFleet), membership is health-checked:
+// peers whose circuit breaker is open are skipped outright — a dead peer
+// costs nothing after the breaker trips, instead of a dial timeout per
+// lookup — and every fetch's outcome feeds the view.
 type PeerTier struct {
 	peers       []string
 	client      *http.Client
 	maxAttempts int
+	fleet       *fleet.Fleet
+
+	flightMu sync.Mutex
+	flight   map[string]*peerFlight
 
 	hits   atomic.Int64
 	misses atomic.Int64
 	errors atomic.Int64
+}
+
+// peerFlight is one in-flight peer walk; latecomers block on done and share
+// the result.
+type peerFlight struct {
+	done chan struct{}
+	val  []byte
+	ok   bool
 }
 
 // DefaultPeerAttempts bounds how many ranked peers one lookup consults. Two
@@ -55,8 +80,13 @@ func NewPeerTier(peers []string, client *http.Client, maxAttempts int) *PeerTier
 		peers:       fanout.NormalizeReplicas(peers),
 		client:      client,
 		maxAttempts: maxAttempts,
+		flight:      map[string]*peerFlight{},
 	}
 }
+
+// UseFleet attaches a fleet view: breaker-open peers are skipped and fetch
+// outcomes feed the view's instrumentation. Call before serving traffic.
+func (p *PeerTier) UseFleet(f *fleet.Fleet) { p.fleet = f }
 
 // Name implements Tier.
 func (p *PeerTier) Name() string { return "peer" }
@@ -84,20 +114,55 @@ func (p *PeerTier) Peek(key string) ([]byte, bool) {
 	return p.fetch(key)
 }
 
-// fetch walks the key's rendezvous ranking. A clean 404 means that peer
-// simply does not hold the entry; transport errors, non-200 statuses and
-// integrity failures count in Errors. Either way the next ranked holder is
-// tried, and running out of holders is a miss.
+// fetch coalesces concurrent lookups of one key onto a single network walk
+// (fetchLocked does the walking).
 func (p *PeerTier) fetch(key string) ([]byte, bool) {
 	if len(p.peers) == 0 {
 		return nil, false
 	}
-	ranked := fanout.Rank(p.peers, key)
-	if len(ranked) > p.maxAttempts {
-		ranked = ranked[:p.maxAttempts]
+	p.flightMu.Lock()
+	if fl, ok := p.flight[key]; ok {
+		p.flightMu.Unlock()
+		<-fl.done
+		return fl.val, fl.ok
 	}
+	fl := &peerFlight{done: make(chan struct{})}
+	p.flight[key] = fl
+	p.flightMu.Unlock()
+
+	fl.val, fl.ok = p.walk(key)
+
+	p.flightMu.Lock()
+	delete(p.flight, key)
+	p.flightMu.Unlock()
+	close(fl.done)
+	return fl.val, fl.ok
+}
+
+// walk tries the key's rendezvous ranking. A clean 404 means that peer
+// simply does not hold the entry; transport errors, non-200 statuses and
+// integrity failures count in Errors. Either way the next ranked holder is
+// tried, and running out of holders is a miss. Breaker-open peers are
+// skipped without a request when a fleet view is attached.
+func (p *PeerTier) walk(key string) ([]byte, bool) {
+	ranked := fanout.Rank(p.peers, key)
+	attempts := 0
 	for _, peer := range ranked {
+		if attempts >= p.maxAttempts {
+			break
+		}
+		if p.fleet != nil && !p.fleet.Healthy(peer) {
+			continue
+		}
+		attempts++
+		var end func(error)
+		if p.fleet != nil {
+			end = p.fleet.Begin(peer)
+		}
 		val, err := p.fetchOne(peer, key)
+		if end != nil {
+			end(err)
+		}
 		if err != nil {
 			p.errors.Add(1)
 			continue
@@ -110,7 +175,7 @@ func (p *PeerTier) fetch(key string) ([]byte, bool) {
 }
 
 // fetchOne asks a single peer for the framed entry. Returns (nil, nil) for
-// a clean not-found.
+// a clean not-found — the peer is healthy, it just doesn't hold the key.
 func (p *PeerTier) fetchOne(peer, key string) ([]byte, error) {
 	resp, err := p.client.Get(peer + "/v1/blob/" + key)
 	if err != nil {
@@ -131,7 +196,7 @@ func (p *PeerTier) fetchOne(peer, key string) ([]byte, error) {
 	if len(raw) > maxBlobBytes {
 		return nil, fmt.Errorf("resultstore: peer %s: blob exceeds %d bytes", peer, maxBlobBytes)
 	}
-	val, err := DecodeEntry(raw)
+	val, err := DecodeBlob(key, raw)
 	if err != nil {
 		return nil, fmt.Errorf("resultstore: peer %s: %w", peer, err)
 	}

@@ -5,8 +5,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // blobServer is a minimal stand-in for a sibling replica's /v1/blob
@@ -22,7 +24,7 @@ func blobServer(t *testing.T, entries map[string][]byte) (*httptest.Server, *ato
 			http.NotFound(w, r)
 			return
 		}
-		w.Write(EncodeEntry(val))
+		w.Write(EncodeBlob(key, val))
 	}))
 	t.Cleanup(srv.Close)
 	return srv, &requests
@@ -54,7 +56,7 @@ func TestPeerTierServesVerifiedEntries(t *testing.T) {
 // frame's checksum must never be served — it counts as an error and a miss,
 // exactly like local bit rot.
 func TestPeerTierRejectsDamagedFrame(t *testing.T) {
-	frame := EncodeEntry([]byte("payload"))
+	frame := EncodeBlob("k", []byte("payload"))
 	frame[len(frame)-1] ^= 0x01
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Write(frame)
@@ -71,6 +73,116 @@ func TestPeerTierRejectsDamagedFrame(t *testing.T) {
 	}
 	if st.Misses != 1 {
 		t.Errorf("Misses = %d, want 1", st.Misses)
+	}
+}
+
+// TestPeerTierRejectsWrongKeyBlob: a stale-but-valid frame answering a
+// different content address — a confused cache or misrouted proxy replaying
+// an old response — must be rejected by the key binding, or it would poison
+// the local tiers under the wrong address.
+func TestPeerTierRejectsWrongKeyBlob(t *testing.T) {
+	stale := EncodeBlob("other-key", []byte(`{"result":"stale"}`))
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(stale) // valid frame, wrong address, for every request
+	}))
+	t.Cleanup(srv.Close)
+
+	p := NewPeerTier([]string{srv.URL}, nil, 0)
+	if _, ok := p.Get("k"); ok {
+		t.Fatal("blob for a different content address served")
+	}
+	st := p.Stats()
+	if st.Errors == 0 {
+		t.Error("wrong-key blob not counted in Errors")
+	}
+	if st.Misses != 1 {
+		t.Errorf("Misses = %d, want 1", st.Misses)
+	}
+	// The same bytes under their true address still verify.
+	if val, err := DecodeBlob("other-key", stale); err != nil || string(val) != `{"result":"stale"}` {
+		t.Fatalf("DecodeBlob under the true key = %q, %v", val, err)
+	}
+}
+
+// TestPeerTierHangCountsOneErrorWithinDeadline: a peer that accepts the
+// connection but never answers must cost exactly one timed-out request —
+// bounded by the client deadline, counted once in Errors — and must not
+// wedge the lookup.
+func TestPeerTierHangCountsOneErrorWithinDeadline(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	t.Cleanup(func() { close(release); srv.Close() })
+
+	client := &http.Client{Timeout: 150 * time.Millisecond}
+	p := NewPeerTier([]string{srv.URL}, client, 0)
+	start := time.Now()
+	_, ok := p.Get("k")
+	elapsed := time.Since(start)
+	if ok {
+		t.Fatal("hung peer served a value")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("lookup blocked %v; client deadline did not bound the hang", elapsed)
+	}
+	st := p.Stats()
+	if st.Errors != 1 {
+		t.Errorf("Errors = %d, want exactly 1 for the timed-out fetch", st.Errors)
+	}
+	if st.Misses != 1 {
+		t.Errorf("Misses = %d, want 1", st.Misses)
+	}
+}
+
+// TestPeerTierCoalescesConcurrentFetches: N concurrent lookups of one cold
+// key must cost one peer round trip — the tier's per-key singleflight, not
+// the chain's compute singleflight, is what bounds network fan-in.
+func TestPeerTierCoalescesConcurrentFetches(t *testing.T) {
+	val := []byte(`{"result":"shared"}`)
+	gate := make(chan struct{})
+	var requests atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		<-gate // hold the leader so the others must pile up behind it
+		w.Write(EncodeBlob("k", val))
+	}))
+	t.Cleanup(srv.Close)
+
+	p := NewPeerTier([]string{srv.URL}, nil, 0)
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([][]byte, callers)
+	oks := make([]bool, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], oks[i] = p.Get("k")
+		}(i)
+	}
+	// Wait until the leader's request is on the server, give the rest a
+	// beat to reach the singleflight, then release.
+	for requests.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if n := requests.Load(); n != 1 {
+		t.Errorf("%d peer requests for %d concurrent lookups, want 1", n, callers)
+	}
+	for i := 0; i < callers; i++ {
+		if !oks[i] || !bytes.Equal(results[i], val) {
+			t.Fatalf("caller %d: got %q, %v", i, results[i], oks[i])
+		}
+	}
+	if st := p.Stats(); st.Hits != callers {
+		t.Errorf("Hits = %d, want %d (each caller counts its own outcome)", st.Hits, callers)
 	}
 }
 

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cdcs/internal/testutil"
+)
+
+// TestFleetMetricsAndBreakerTrip pins the serving side of the fleet view: a
+// server with peers exports per-replica cdcs_fleet_* gauges, and when a
+// peer dies its prober trips the breaker — observable in /metrics and in
+// Stats — then recovery closes it again.
+func TestFleetMetricsAndBreakerTrip(t *testing.T) {
+	// A healthy peer behind a fault proxy, so it can be killed and revived
+	// on a stable address.
+	_, hPeer := testServer(t, Options{})
+	backend := httptest.NewServer(hPeer)
+	t.Cleanup(backend.Close)
+	proxy, err := testutil.NewFaultProxy(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proxy.Close)
+
+	s, h := testServer(t, Options{
+		Peers:                 []string{proxy.URL()},
+		FleetProbeInterval:    20 * time.Millisecond,
+		FleetBreakerThreshold: 2,
+	})
+
+	// Probes against the live peer keep the breaker closed.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st := s.Stats()
+		if len(st.Fleet) == 1 && st.Fleet[0].State == "closed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never settled closed: %+v", st.Fleet)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	m := do(h, "GET", "/metrics", "")
+	for _, want := range []string{
+		"cdcs_fleet_state{replica=",
+		"cdcs_fleet_ewma_latency_ms{replica=",
+		"cdcs_fleet_inflight{replica=",
+		"cdcs_fleet_requests_total{replica=",
+		"cdcs_fleet_errors_total{replica=",
+		"cdcs_fleet_breaker_trips_total{replica=",
+	} {
+		if !strings.Contains(m.Body.String(), want) {
+			t.Errorf("metrics missing %s:\n%s", want, m.Body)
+		}
+	}
+
+	// Kill the peer: consecutive probe failures must trip the breaker open
+	// and count one trip.
+	proxy.Kill()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats()
+		if len(st.Fleet) == 1 && st.Fleet[0].State == "open" && st.Fleet[0].Trips >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never opened after peer death: %+v", st.Fleet)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	m = do(h, "GET", "/metrics", "")
+	if !strings.Contains(m.Body.String(), "cdcs_fleet_state{replica=") ||
+		!strings.Contains(m.Body.String(), "cdcs_fleet_breaker_trips_total{replica=") {
+		t.Errorf("fleet gauges missing after trip:\n%s", m.Body)
+	}
+
+	// Revive: the half-open probe must close the breaker again without a
+	// new trip being required.
+	proxy.Revive()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats()
+		if len(st.Fleet) == 1 && st.Fleet[0].State == "closed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never closed after revival: %+v", st.Fleet)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The fleet also rides the JSON stats surface.
+	var st Stats
+	if b, err := json.Marshal(s.Stats()); err != nil || json.Unmarshal(b, &st) != nil {
+		t.Fatalf("stats round-trip: %v", err)
+	}
+	if len(st.Fleet) != 1 || st.Fleet[0].URL == "" {
+		t.Errorf("fleet stats not serialized: %+v", st.Fleet)
+	}
+}
+
+// TestFleetOptionsRequirePeers pins the option validation: fleet knobs
+// without peers are configuration mistakes, rejected loudly.
+func TestFleetOptionsRequirePeers(t *testing.T) {
+	for _, bad := range []Options{
+		{FleetProbeInterval: time.Second},
+		{FleetBreakerThreshold: 2},
+	} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%+v) accepted fleet options without peers", bad)
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"cdcs"
+	"cdcs/internal/fleet"
 	"cdcs/internal/resultstore"
 )
 
@@ -74,7 +75,20 @@ type Options struct {
 	// entry from the replicas rendezvous-ranked for its key (via GET
 	// /v1/blob/{hash}) before falling back to simulation, so a cold replica
 	// joins the fleet warm and only a fleet-wide miss burns a simulation.
+	// Peer membership is health-checked: a fleet view (internal/fleet)
+	// probes each peer's /healthz and runs a per-peer circuit breaker, so
+	// dead peers are skipped without a dial and rejoin automatically when
+	// their probes recover. Per-peer state is exported as cdcs_fleet_*
+	// metrics.
 	Peers []string
+	// FleetProbeInterval is the period of the health probes over Peers
+	// (default 2s; negative disables probing, leaving fetch outcomes alone
+	// to drive the breakers). Requires Peers.
+	FleetProbeInterval time.Duration
+	// FleetBreakerThreshold is the number of consecutive failures (probes
+	// or fetches) that opens a peer's circuit breaker (default 3).
+	// Requires Peers.
+	FleetBreakerThreshold int
 	// QueueDepth bounds the job queue; submissions beyond it get 503
 	// (default 256).
 	QueueDepth int
@@ -127,6 +141,7 @@ func (o Options) withDefaults() Options {
 type Server struct {
 	opts        Options
 	cache       resultstore.Store
+	fleet       *fleet.Fleet // health view over Peers; nil without peers
 	jobs        *manager
 	simulations atomic.Int64 // actual sim.Engine fan-outs (full store misses)
 	started     time.Time
@@ -151,8 +166,17 @@ func New(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("server: CacheDiskBytes requires CacheDir")
 		}
 	}
+	if len(opts.Peers) == 0 {
+		if opts.FleetProbeInterval != 0 {
+			return nil, fmt.Errorf("server: FleetProbeInterval requires Peers")
+		}
+		if opts.FleetBreakerThreshold != 0 {
+			return nil, fmt.Errorf("server: FleetBreakerThreshold requires Peers")
+		}
+	}
 	opts = opts.withDefaults()
 	store := opts.Store
+	var fl *fleet.Fleet
 	if store == nil {
 		tiers := []resultstore.Tier{resultstore.MemoryTier(opts.CacheEntries)}
 		if opts.CacheDir != "" {
@@ -171,37 +195,56 @@ func New(opts Options) (*Server, error) {
 			tiers = append(tiers, disk)
 		}
 		if len(opts.Peers) > 0 {
-			tiers = append(tiers, resultstore.NewPeerTier(opts.Peers, nil, 0))
+			peer := resultstore.NewPeerTier(opts.Peers, nil, 0)
+			fl = fleet.New(peer.Peers(), fleet.Options{
+				ProbeInterval:    opts.FleetProbeInterval,
+				BreakerThreshold: opts.FleetBreakerThreshold,
+			})
+			peer.UseFleet(fl)
+			tiers = append(tiers, peer)
 		}
 		store = resultstore.Chain(tiers...)
 	}
 	s := &Server{
 		opts:    opts,
 		cache:   store,
+		fleet:   fl,
 		jobs:    newManager(opts.Workers, opts.QueueDepth, opts.JobTimeout),
 		started: time.Now().UTC(),
+	}
+	if fl != nil {
+		fl.Start()
 	}
 	publishExpvar(s)
 	return s, nil
 }
 
-// Close stops the worker pool, canceling running jobs.
-func (s *Server) Close() { s.jobs.close() }
+// Close stops the worker pool (canceling running jobs) and the fleet
+// prober.
+func (s *Server) Close() {
+	s.jobs.close()
+	if s.fleet != nil {
+		s.fleet.Close()
+	}
+}
 
-// Stats is a point-in-time snapshot of the serving counters.
+// Stats is a point-in-time snapshot of the serving counters. Fleet is
+// present only when the server has peers: one entry per peer with its
+// breaker state and load instrumentation.
 type Stats struct {
-	Cache       resultstore.Stats `json:"cache"`
-	QueueDepth  int               `json:"queue_depth"`
-	JobsTotal   uint64            `json:"jobs_total"`
-	JobsRunning int               `json:"jobs_running"`
-	Simulations int64             `json:"simulations"`
-	UptimeSec   float64           `json:"uptime_sec"`
+	Cache       resultstore.Stats    `json:"cache"`
+	Fleet       []fleet.ReplicaStats `json:"fleet,omitempty"`
+	QueueDepth  int                  `json:"queue_depth"`
+	JobsTotal   uint64               `json:"jobs_total"`
+	JobsRunning int                  `json:"jobs_running"`
+	Simulations int64                `json:"simulations"`
+	UptimeSec   float64              `json:"uptime_sec"`
 }
 
 // Stats snapshots the counters.
 func (s *Server) Stats() Stats {
 	total, active := s.jobs.counts()
-	return Stats{
+	st := Stats{
 		Cache:       s.cache.Stats(),
 		QueueDepth:  s.jobs.depth(),
 		JobsTotal:   total,
@@ -209,6 +252,10 @@ func (s *Server) Stats() Stats {
 		Simulations: s.simulations.Load(),
 		UptimeSec:   time.Since(s.started).Seconds(),
 	}
+	if s.fleet != nil {
+		st.Fleet = s.fleet.Snapshot()
+	}
+	return st
 }
 
 // current is the server expvar reads from; expvar registration is global and
@@ -638,11 +685,12 @@ type localGetter interface {
 }
 
 // handleBlob serves one stored entry to a sibling replica, framed with the
-// disk tier's checksum envelope (resultstore.EncodeEntry) so the peer can
-// verify it end to end. Only local tiers are consulted — a blob lookup
-// never recurses into this replica's own peer tier — and the lookup is
-// uncounted, so peer traffic does not skew this replica's hit/miss
-// counters or reshape its working set.
+// keyed blob envelope (resultstore.EncodeBlob) so the peer can verify both
+// payload integrity and that the response answers the address it asked for.
+// Only local tiers are consulted — a blob lookup never recurses into this
+// replica's own peer tier — and the lookup is uncounted, so peer traffic
+// does not skew this replica's hit/miss counters or reshape its working
+// set.
 func (s *Server) handleBlob(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
 	if hash == "" || len(hash) > 128 {
@@ -663,7 +711,7 @@ func (s *Server) handleBlob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	_, _ = w.Write(resultstore.EncodeEntry(val))
+	_, _ = w.Write(resultstore.EncodeBlob(hash, val))
 }
 
 // handleHealthz is the liveness probe.
@@ -704,6 +752,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	line("cdcs_cache_coalesced_total", st.Cache.Coalesced)
 	line("cdcs_cache_inflight", st.Cache.Inflight)
+	// Fleet gauges carry a replica label (the peer's base URL) so a
+	// dashboard shows each peer's breaker state (0 closed, 1 open, 2
+	// half-open) next to the load signals the router steers by.
+	for _, rep := range st.Fleet {
+		rl := func(name string, v any) {
+			fmt.Fprintf(&b, "%s{replica=%q} %v\n", name, rep.URL, v)
+		}
+		rl("cdcs_fleet_state", fleet.StateCode(rep.State))
+		rl("cdcs_fleet_ewma_latency_ms", fmt.Sprintf("%.3f", rep.EWMALatencyMs))
+		rl("cdcs_fleet_inflight", rep.Inflight)
+		rl("cdcs_fleet_requests_total", rep.Requests)
+		rl("cdcs_fleet_errors_total", rep.Errors)
+		rl("cdcs_fleet_breaker_trips_total", rep.Trips)
+	}
 	line("cdcs_queue_depth", st.QueueDepth)
 	line("cdcs_jobs_total", st.JobsTotal)
 	line("cdcs_jobs_running", st.JobsRunning)

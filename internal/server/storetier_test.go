@@ -12,8 +12,8 @@ import (
 )
 
 // TestBlobEndpointServesFramedEntries pins the peer-fill wire format: a
-// stored entry comes back framed exactly like a disk entry file
-// (resultstore.EncodeEntry), and unknown hashes are clean 404s.
+// stored entry comes back in the keyed blob frame (resultstore.EncodeBlob)
+// bound to the requested address, and unknown hashes are clean 404s.
 func TestBlobEndpointServesFramedEntries(t *testing.T) {
 	_, h := testServer(t, Options{CacheDir: t.TempDir()})
 	cmp := do(h, "POST", "/v1/compare", smallCompare)
@@ -32,12 +32,18 @@ func TestBlobEndpointServesFramedEntries(t *testing.T) {
 	if ct := blob.Header().Get("Content-Type"); ct != "application/octet-stream" {
 		t.Errorf("blob Content-Type = %q", ct)
 	}
-	val, err := resultstore.DecodeEntry(blob.Body.Bytes())
+	val, err := resultstore.DecodeBlob(hash, blob.Body.Bytes())
 	if err != nil {
 		t.Fatalf("blob frame does not decode: %v", err)
 	}
 	if !bytes.Equal(val, cmp.Body.Bytes()) {
 		t.Error("blob payload differs from the compare response")
+	}
+	// The frame is bound to the address it answers: verifying it against a
+	// different key must fail, which is what protects a peer from a stale
+	// response for the wrong hash.
+	if _, err := resultstore.DecodeBlob(strings.Repeat("0", 64), blob.Body.Bytes()); err == nil {
+		t.Error("blob frame verified against the wrong content address")
 	}
 
 	if w := do(h, "GET", "/v1/blob/"+strings.Repeat("0", 64), ""); w.Code != 404 {

@@ -16,8 +16,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"cdcs/internal/fanout"
+	"cdcs/internal/fleet"
 )
 
 // DistributedSweepOptions tunes SweepDistributed. The zero value is usable.
@@ -32,18 +34,57 @@ type DistributedSweepOptions struct {
 	Context context.Context
 	// Progress, if set, receives (cells done, total cells).
 	Progress func(done, total int)
+	// FleetProbeInterval is the period of the background /healthz probes
+	// over the replicas for the duration of the sweep (default 2s; negative
+	// disables probing, so only request outcomes drive the breakers).
+	FleetProbeInterval time.Duration
+	// FleetBreakerThreshold is the number of consecutive failures that
+	// opens a replica's circuit breaker (default 3).
+	FleetBreakerThreshold int
+	// HotCellLatency marks a cell hot when its serving request took longer
+	// than this; hot cells are replicated in the background to a second
+	// rendezvous holder so warm copies exist on more than one replica. 0
+	// disables replication.
+	HotCellLatency time.Duration
+	// TopK is how many of a cell's top rendezvous holders compete on load
+	// (default 2; 1 restores pure rendezvous routing).
+	TopK int
+}
+
+// ReplicaHealth is one replica's fleet-view snapshot at the end of a
+// distributed sweep.
+type ReplicaHealth struct {
+	// State is the circuit-breaker state: "closed", "open" or "half-open".
+	State string `json:"state"`
+	// EWMALatencyMs is the smoothed service latency of successful requests,
+	// in milliseconds.
+	EWMALatencyMs float64 `json:"ewma_latency_ms"`
+	// Requests and Errors count completed and failed requests to the
+	// replica during the sweep (health probes excluded).
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// BreakerTrips counts closed → open breaker transitions.
+	BreakerTrips int64 `json:"breaker_trips"`
 }
 
 // SweepReplicaStats reports how a distributed sweep spread over replicas,
 // keyed by normalized replica base URL.
 type SweepReplicaStats struct {
-	// Cells counts cells each replica served.
-	Cells map[string]int `json:"cells"`
+	// Assigned counts cells whose rendezvous ranking put each replica
+	// first; Cells counts cells each replica actually served. They differ
+	// when load-aware routing or retries moved work.
+	Assigned map[string]int `json:"assigned,omitempty"`
+	Cells    map[string]int `json:"cells"`
 	// Failures counts failed requests per replica (connection errors, 5xx);
 	// a replica with failures and zero served cells was down throughout.
 	Failures map[string]int `json:"failures,omitempty"`
 	// Retried counts cells that moved off their first-choice replica.
 	Retried int `json:"retried,omitempty"`
+	// Replicated counts hot cells re-posted to a second holder (see
+	// DistributedSweepOptions.HotCellLatency).
+	Replicated int `json:"replicated,omitempty"`
+	// Fleet is the end-of-sweep health snapshot per replica.
+	Fleet map[string]ReplicaHealth `json:"fleet,omitempty"`
 }
 
 // SweepDistributed evaluates a config-grid sweep by sharding its cells
@@ -51,8 +92,13 @@ type SweepReplicaStats struct {
 // routed by rendezvous hash of their content address, so concurrent clients
 // sweeping overlapping grids converge on the same replica per cell and its
 // result cache coalesces the work; a replica failure moves only that
-// replica's cells onto survivors. The merged result is byte-identical to
-// Sweep's for any replica count.
+// replica's cells onto survivors. For the duration of the sweep a fleet
+// view (internal/fleet) health-checks the replicas and steers each cell to
+// the least-loaded healthy replica among its top rendezvous holders, so a
+// slow or flapping replica sheds load without operator action. Routing
+// only ever changes where a cell is computed: the merged result is
+// byte-identical to Sweep's for any replica count, any routing order and
+// any failure pattern that leaves the sweep completable.
 func SweepDistributed(req SweepRequest, replicas []string, opts DistributedSweepOptions) (*SweepResult, *SweepReplicaStats, error) {
 	canon, err := req.Canonical()
 	if err != nil {
@@ -76,17 +122,48 @@ func SweepDistributed(req SweepRequest, replicas []string, opts DistributedSweep
 		units[i] = fanout.Cell{Index: i, Key: cell.Hash, Body: body}
 	}
 
+	// The fleet view lives for the duration of the sweep: its prober tracks
+	// replica health in the background while request outcomes feed the
+	// per-replica load signals the router steers by.
+	fl := fleet.New(fanout.NormalizeReplicas(replicas), fleet.Options{
+		ProbeInterval:    opts.FleetProbeInterval,
+		BreakerThreshold: opts.FleetBreakerThreshold,
+		TopK:             opts.TopK,
+		Client:           opts.Client,
+	})
+	fl.Start()
+	defer fl.Close()
+
 	results, fstats, err := fanout.Do(ctx, replicas, units, fanout.Options{
 		Client:      opts.Client,
 		Path:        "/v1/compare",
 		Parallelism: opts.Parallelism,
 		OnProgress:  opts.Progress,
+		Fleet:       fl,
+		HotLatency:  opts.HotCellLatency,
 	})
-	stats := &SweepReplicaStats{Cells: map[string]int{}, Failures: map[string]int{}, Retried: fstats.Retried}
+	stats := &SweepReplicaStats{
+		Assigned:   map[string]int{},
+		Cells:      map[string]int{},
+		Failures:   map[string]int{},
+		Retried:    fstats.Retried,
+		Replicated: fstats.Replicated,
+		Fleet:      map[string]ReplicaHealth{},
+	}
 	for url, rs := range fstats.Replicas {
+		stats.Assigned[url] = rs.Assigned
 		stats.Cells[url] = rs.Served
 		if rs.Failed > 0 {
 			stats.Failures[url] = rs.Failed
+		}
+	}
+	for _, rep := range fl.Snapshot() {
+		stats.Fleet[rep.URL] = ReplicaHealth{
+			State:         rep.State,
+			EWMALatencyMs: rep.EWMALatencyMs,
+			Requests:      rep.Requests,
+			Errors:        rep.Errors,
+			BreakerTrips:  rep.Trips,
 		}
 	}
 	if err != nil {
