@@ -47,18 +47,24 @@ type goldenFile struct {
 // boundary itself is pinned: any off-by-one in the threshold or drift in
 // the exhaustive path at its largest extent changes these hashes) and a
 // 64×64 chip (4096 banks — the stride-4 candidate-lattice regime of the
-// pruned search and the arena-backed kilo-tile hot path). Fixed seeds
-// throughout.
+// pruned search and the arena-backed kilo-tile hot path, and the largest
+// mesh the flat pipeline handles), and a 128×128 chip (16,384 banks — the
+// lazy-topology + hierarchical two-level placement regime, so the coarse
+// cluster pass, interior refinement, and parallel merge are all pinned
+// bit-for-bit). Fixed seeds throughout.
 func goldenRequests() map[string]CompareRequest {
 	cfg16 := DefaultConfig()
 	cfg16.MeshWidth, cfg16.MeshHeight = 16, 16
 	cfg64 := DefaultConfig()
 	cfg64.MeshWidth, cfg64.MeshHeight = 64, 64
+	cfg128 := DefaultConfig()
+	cfg128.MeshWidth, cfg128.MeshHeight = 128, 128
 	return map[string]CompareRequest{
-		"st":   {Mix: MixSpec{Kind: MixRandom, Seed: 42, N: 64}, Seed: 1},
-		"mt":   {Mix: MixSpec{Kind: MixRandomMT, Seed: 42, N: 8}, Seed: 1},
-		"st16": {Config: &cfg16, Mix: MixSpec{Kind: MixRandom, Seed: 42, N: 256}, Seed: 1},
-		"st64": {Config: &cfg64, Mix: MixSpec{Kind: MixRandom, Seed: 42, N: 256}, Seed: 1},
+		"st":    {Mix: MixSpec{Kind: MixRandom, Seed: 42, N: 64}, Seed: 1},
+		"mt":    {Mix: MixSpec{Kind: MixRandomMT, Seed: 42, N: 8}, Seed: 1},
+		"st16":  {Config: &cfg16, Mix: MixSpec{Kind: MixRandom, Seed: 42, N: 256}, Seed: 1},
+		"st64":  {Config: &cfg64, Mix: MixSpec{Kind: MixRandom, Seed: 42, N: 256}, Seed: 1},
+		"st128": {Config: &cfg128, Mix: MixSpec{Kind: MixRandom, Seed: 42, N: 256}, Seed: 1},
 	}
 }
 

@@ -238,15 +238,19 @@ func PeekaheadQuantized(costs []curves.Curve, totalLines, chunkLines float64) []
 // capacities.
 func CompactDistance(topo *mesh.Topology, bankLines float64) curves.Curve {
 	center := topo.CenterTile()
-	order := topo.ByDistance(center)
-	xs := make([]float64, 0, len(order)+1)
-	ys := make([]float64, 0, len(order)+1)
+	n := topo.Tiles()
+	xs := make([]float64, 0, n+1)
+	ys := make([]float64, 0, n+1)
 	xs = append(xs, 0)
 	ys = append(ys, 0)
 	cum := 0.0     // lines placed
 	distSum := 0.0 // sum of distance×lines
-	for _, b := range order {
-		d := float64(topo.Distance(center, b))
+	cur := topo.RingFrom(center)
+	for {
+		if _, ok := cur.Next(); !ok {
+			break
+		}
+		d := float64(cur.Dist())
 		cum += bankLines
 		distSum += d * bankLines
 		xs = append(xs, cum)

@@ -154,25 +154,43 @@ func ReconfigureWith(cfg Config, mix *workload.Mix, fixedThreads []mesh.Tile, ar
 		}
 	}
 
+	// Steps 2-4 dispatch on chip size: above place.HierarchyThreshold banks
+	// the flat pipeline's O(banks²) scans would dominate, so placement runs
+	// hierarchically over the mesh's cluster view. At or below the threshold
+	// the hierarchical path is never taken and results are bit-identical to
+	// the flat pipeline by construction.
+	hier := place.Hierarchical(cfg.Chip)
+
 	// Step 2: optimistic contention-aware VC placement.
 	start = time.Now()
-	res.Optimistic = place.OptimisticPlaceIn(pa, cfg.Chip, demands)
+	if hier {
+		res.Optimistic = place.HierOptimisticPlaceIn(pa, cfg.Chip, demands)
+	} else {
+		res.Optimistic = place.OptimisticPlaceIn(pa, cfg.Chip, demands)
+	}
 	res.Timing.VCPlace = time.Since(start)
 
 	// Step 3: thread placement.
 	start = time.Now()
-	if cfg.Feats.ThreadPlace {
-		res.ThreadCore = place.PlaceThreadsIn(pa, cfg.Chip, demands, res.Optimistic, nThreads)
-	} else {
+	if !cfg.Feats.ThreadPlace {
 		res.ThreadCore = append([]mesh.Tile(nil), fixedThreads[:nThreads]...)
+	} else if hier {
+		res.ThreadCore = place.HierPlaceThreadsIn(pa, cfg.Chip, demands, res.Optimistic, nThreads)
+	} else {
+		res.ThreadCore = place.PlaceThreadsIn(pa, cfg.Chip, demands, res.Optimistic, nThreads)
 	}
 	res.Timing.ThreadPlace = time.Since(start)
 
 	// Step 4: refined data placement.
 	start = time.Now()
-	res.Assignment = place.GreedyIn(pa, cfg.Chip, demands, res.ThreadCore, cfg.chunk())
-	if cfg.Feats.RefinedTrades {
-		res.Trades, res.TradeGain = place.RefineIn(pa, cfg.Chip, demands, res.Assignment, res.ThreadCore)
+	if hier {
+		res.Assignment, res.Trades, res.TradeGain = place.HierGreedyRefineIn(
+			pa, cfg.Chip, demands, res.ThreadCore, cfg.chunk(), cfg.Feats.RefinedTrades)
+	} else {
+		res.Assignment = place.GreedyIn(pa, cfg.Chip, demands, res.ThreadCore, cfg.chunk())
+		if cfg.Feats.RefinedTrades {
+			res.Trades, res.TradeGain = place.RefineIn(pa, cfg.Chip, demands, res.Assignment, res.ThreadCore)
+		}
 	}
 	res.Timing.DataPlace = time.Since(start)
 

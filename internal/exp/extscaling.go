@@ -15,17 +15,19 @@ func init() {
 }
 
 // runExtScaling measures the paper's title claim directly: as the chip
-// scales from 16 to 4096 tiles (with mixes filling every core), S-NUCA's
+// scales from 16 to 16,384 tiles (with mixes filling every core), S-NUCA's
 // mean access distance grows with the mesh diameter while CDCS keeps data
 // local, so the co-scheduling win should widen with scale. Everything past
 // 16x16 runs beyond the paper's largest chip on the pruned placement search
 // (internal/place, active above 256 banks); the 48x48 and 64x64 points
 // exercise the stride-3 and stride-4 candidate lattices and the arena-backed
-// kilo-tile reconfiguration hot path.
+// kilo-tile reconfiguration hot path, and the 96x96 and 128x128 points run
+// the lazy-topology hierarchical two-level placement path (active above
+// 4096 banks).
 func runExtScaling(opts Options) (*Report, error) {
-	rep := newReport("ext-scaling", "CDCS advantage vs chip size (16-4096 tiles)")
+	rep := newReport("ext-scaling", "CDCS advantage vs chip size (16-16384 tiles)")
 	cpu := workload.SPECCPU()
-	sizes := []struct{ w, h int }{{4, 4}, {6, 6}, {8, 8}, {12, 12}, {16, 16}, {24, 24}, {32, 32}, {48, 48}, {64, 64}}
+	sizes := []struct{ w, h int }{{4, 4}, {6, 6}, {8, 8}, {12, 12}, {16, 16}, {24, 24}, {32, 32}, {48, 48}, {64, 64}, {96, 96}, {128, 128}}
 	if opts.Quick {
 		sizes = sizes[:4]
 	}
@@ -59,9 +61,9 @@ func runExtScaling(opts Options) (*Report, error) {
 // placement must keep each app's threads compact while private VCs compete
 // for nearby banks.
 func runExtScalingMT(opts Options) (*Report, error) {
-	rep := newReport("ext-scaling-mt", "CDCS advantage vs chip size, 8-thread apps (128-4096 cores)")
+	rep := newReport("ext-scaling-mt", "CDCS advantage vs chip size, 8-thread apps (128-16384 cores)")
 	omp := workload.SPECOMP()
-	sizes := []struct{ w, h int }{{16, 8}, {16, 16}, {24, 24}, {32, 32}, {48, 48}, {64, 64}}
+	sizes := []struct{ w, h int }{{16, 8}, {16, 16}, {24, 24}, {32, 32}, {48, 48}, {64, 64}, {96, 96}, {128, 128}}
 	if opts.Quick {
 		sizes = sizes[:2]
 	}
@@ -91,12 +93,15 @@ func runExtScalingMT(opts Options) (*Report, error) {
 }
 
 // scaleMixes bounds the per-point mix count: 10 as before up to 1024 tiles,
-// then fewer — kilo-tile cells cost ~1s each, and the scaling trend is
-// stable across mixes at that size.
+// then fewer — kilo-tile cells cost ~1s each and 16K-tile cells several
+// seconds, and the scaling trend is stable across mixes at those sizes.
 func scaleMixes(mixes, tiles int) int {
 	limit := 10
 	if tiles > 1024 {
 		limit = 3
+	}
+	if tiles > 4096 {
+		limit = 2
 	}
 	if mixes > limit {
 		return limit

@@ -1,0 +1,170 @@
+package mesh
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// lazyTestDims are small enough to build both representations exhaustively,
+// and include degenerate strips, non-square meshes, and even/odd centers.
+var lazyTestDims = [][2]int{{1, 1}, {1, 7}, {5, 1}, {2, 2}, {4, 4}, {5, 3}, {3, 8}, {8, 8}, {9, 5}}
+
+// TestLazyMatchesEager proves the lazy representation is bit-identical to the
+// eager arrays on every query the rest of the system uses: distances, rows,
+// orderings, ring geometry, and the precomputed float means. This equality is
+// what lets New switch representation at LazyThreshold without perturbing a
+// single committed result hash.
+func TestLazyMatchesEager(t *testing.T) {
+	for _, dims := range lazyTestDims {
+		w, h := dims[0], dims[1]
+		eager, lazy := NewEager(w, h), NewLazy(w, h)
+		if !lazy.Lazy() || eager.Lazy() {
+			t.Fatalf("%dx%d: mode flags wrong", w, h)
+		}
+		n := eager.Tiles()
+		row := make([]int, n)
+		for a := 0; a < n; a++ {
+			at := Tile(a)
+			for b := 0; b < n; b++ {
+				if eager.Distance(at, Tile(b)) != lazy.Distance(at, Tile(b)) {
+					t.Fatalf("%dx%d: Distance(%d,%d) differs", w, h, a, b)
+				}
+			}
+			if !reflect.DeepEqual(eager.DistanceRow(at), lazy.DistanceRow(at)) {
+				t.Fatalf("%dx%d: DistanceRow(%d) differs", w, h, a)
+			}
+			if got := lazy.FillDistanceRow(at, row); !reflect.DeepEqual(eager.DistanceRow(at), got) {
+				t.Fatalf("%dx%d: FillDistanceRow(%d) differs", w, h, a)
+			}
+			if !reflect.DeepEqual(eager.ByDistance(at), lazy.ByDistance(at)) {
+				t.Fatalf("%dx%d: ByDistance(%d) differs", w, h, a)
+			}
+			for d := -1; d <= eager.MaxDistance()+1; d++ {
+				er, lr := eager.Ring(at, d), lazy.Ring(at, d)
+				if len(er) != len(lr) || (len(er) > 0 && !reflect.DeepEqual(er, lr)) {
+					t.Fatalf("%dx%d: Ring(%d,%d) differs: %v vs %v", w, h, a, d, er, lr)
+				}
+				if eager.WithinCount(at, d) != lazy.WithinCount(at, d) {
+					t.Fatalf("%dx%d: WithinCount(%d,%d) differs", w, h, a, d)
+				}
+			}
+			for k := 0; k <= n+2; k++ {
+				if eager.RadiusCovering(at, k) != lazy.RadiusCovering(at, k) {
+					t.Fatalf("%dx%d: RadiusCovering(%d,%d) differs", w, h, a, k)
+				}
+			}
+			if math.Float64bits(eager.MeanDistanceFrom(at)) != math.Float64bits(lazy.MeanDistanceFrom(at)) {
+				t.Fatalf("%dx%d: MeanDistanceFrom(%d) differs: %v vs %v",
+					w, h, a, eager.MeanDistanceFrom(at), lazy.MeanDistanceFrom(at))
+			}
+			if math.Float64bits(eager.AvgMemDistance(at)) != math.Float64bits(lazy.AvgMemDistance(at)) {
+				t.Fatalf("%dx%d: AvgMemDistance(%d) differs", w, h, a)
+			}
+		}
+		if !reflect.DeepEqual(eager.MemControllers(), lazy.MemControllers()) {
+			t.Fatalf("%dx%d: MemControllers differ", w, h)
+		}
+		if math.Float64bits(eager.MeanPairDistance()) != math.Float64bits(lazy.MeanPairDistance()) {
+			t.Fatalf("%dx%d: MeanPairDistance differs: %v vs %v",
+				w, h, eager.MeanPairDistance(), lazy.MeanPairDistance())
+		}
+		if math.Float64bits(eager.MeanMemDistance()) != math.Float64bits(lazy.MeanMemDistance()) {
+			t.Fatalf("%dx%d: MeanMemDistance differs", w, h)
+		}
+	}
+}
+
+// TestRingCursorOrder proves RingFrom enumerates exactly the ByDistance
+// ordering — on both representations — and that Dist is non-decreasing.
+func TestRingCursorOrder(t *testing.T) {
+	for _, dims := range lazyTestDims {
+		w, h := dims[0], dims[1]
+		eager, lazy := NewEager(w, h), NewLazy(w, h)
+		n := eager.Tiles()
+		for c := 0; c < n; c++ {
+			want := eager.ByDistance(Tile(c))
+			for name, topo := range map[string]*Topology{"eager": eager, "lazy": lazy} {
+				cur := topo.RingFrom(Tile(c))
+				prev := -1
+				for i := 0; i < n; i++ {
+					tile, ok := cur.Next()
+					if !ok {
+						t.Fatalf("%dx%d %s: cursor from %d ended after %d of %d tiles", w, h, name, c, i, n)
+					}
+					if tile != want[i] {
+						t.Fatalf("%dx%d %s: cursor from %d: tile %d is %d, want %d", w, h, name, c, i, tile, want[i])
+					}
+					if d := cur.Dist(); d < prev {
+						t.Fatalf("%dx%d %s: cursor from %d: distance decreased to %d", w, h, name, c, d)
+					} else {
+						prev = d
+					}
+				}
+				if _, ok := cur.Next(); ok {
+					t.Fatalf("%dx%d %s: cursor from %d produced more than %d tiles", w, h, name, c, n)
+				}
+			}
+		}
+	}
+}
+
+// TestNewSwitchesAtThreshold pins the representation switch: New stays eager
+// through LazyThreshold tiles and goes lazy just above it.
+func TestNewSwitchesAtThreshold(t *testing.T) {
+	if New(64, 64).Lazy() {
+		t.Error("64x64 (= LazyThreshold) built lazy; must stay eager for bit-stability")
+	}
+	if !New(65, 64).Lazy() {
+		t.Error("65x64 (> LazyThreshold) built eager; expected lazy")
+	}
+}
+
+// topoAllocBytes measures the heap bytes a topology construction allocates.
+func topoAllocBytes(build func() *Topology) uint64 {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	topo := build()
+	runtime.ReadMemStats(&after)
+	runtime.KeepAlive(topo)
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// TestTopologyMemory is the acceptance check for the lazy-ring memory model:
+// topology construction at 128×128 (16,384 tiles) must be O(n) — the eager
+// arrays would need ~2 GB of ring indices plus a 2 GB distance matrix, so an
+// accidental eager construction trips the bound by orders of magnitude. The
+// scaling check (64×64 lazy → 128×128 lazy grows ~4×, not ~16×) guards
+// against an O(n²) structure sneaking back in under the absolute bound.
+func TestTopologyMemory(t *testing.T) {
+	at128 := topoAllocBytes(func() *Topology { return New(128, 128) })
+	if limit := uint64(16 << 20); at128 > limit {
+		t.Fatalf("128x128 topology construction allocated %d bytes, want <= %d (O(n) lazy mode)", at128, limit)
+	}
+	at64 := topoAllocBytes(func() *Topology { return NewLazy(64, 64) })
+	if at64 > 0 && at128 > 8*at64 {
+		t.Errorf("lazy construction scaled %dB (64x64) -> %dB (128x128): worse than O(n)", at64, at128)
+	}
+}
+
+// BenchmarkNewTopology gates topology-construction cost and footprint at the
+// 64×64 representation boundary: B/op is the headline — lazy must stay O(n)
+// while eager pays the full O(n²) matrix and rings.
+func BenchmarkNewTopology(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		build func() *Topology
+	}{
+		{"64x64-lazy", func() *Topology { return NewLazy(64, 64) }},
+		{"64x64-eager", func() *Topology { return NewEager(64, 64) }},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bc.build()
+			}
+		})
+	}
+}

@@ -6,17 +6,38 @@
 // algorithms in internal/place and internal/core consume distances through
 // this package, so alternative topologies only need to implement the same
 // distance interface.
+//
+// Memory model: at or below LazyThreshold tiles a Topology precomputes the
+// full distance matrix and per-tile distance rings (O(n²) ints — microseconds
+// of lookup in the placement hot loops, and the representation every
+// committed result hash was recorded against). Above the threshold those
+// arrays would need gigabytes (a 128×128 mesh is 2 GB of ring indices alone),
+// so the topology switches to a lazy mode: distances come from coordinate
+// arithmetic, ByDistance orderings are enumerated on demand by RingCursor,
+// and the per-tile mean distances are computed in closed form. Every lazy
+// answer is bit-identical to what the eager arrays would have held — integer
+// hop counts and integer-sum means have exact float64 representations — so
+// the mode switch is an implementation detail, not a semantic one.
 package mesh
 
 import (
 	"fmt"
 	"maps"
 	"slices"
+	"sync"
 )
 
 // Tile identifies a tile (core + LLC bank slice) by its index in row-major
 // order: tile = y*Width + x.
 type Tile int
+
+// LazyThreshold is the tile count above which New builds a lazy topology:
+// no O(n²) distance matrix or ring arrays, coordinate arithmetic and
+// RingCursor enumeration instead. At or below the threshold the eager arrays
+// survive untouched, so every existing ordering is byte-identical to prior
+// releases. The value matches place.HierarchyThreshold: a chip is lazy
+// exactly when placement goes hierarchical.
+const LazyThreshold = 4096
 
 // Topology is an immutable W×H mesh. The zero value is not usable; construct
 // with New.
@@ -24,18 +45,25 @@ type Topology struct {
 	width  int
 	height int
 
+	// lazy marks a topology built without the O(n²) arrays below (see
+	// LazyThreshold). Distance queries fall back to coordinate arithmetic.
+	lazy bool
+
 	// distance[a][b] is the Manhattan distance in hops between tiles a and b.
+	// Nil in lazy mode.
 	distance [][]int
 
 	// byDistance[c] lists all tiles sorted by increasing distance from c,
-	// with ties broken by tile index so orderings are deterministic.
+	// with ties broken by tile index so orderings are deterministic. Nil in
+	// lazy mode (RingCursor produces the identical ordering on demand).
 	byDistance [][]Tile
 
 	// ringStart[c][d] is the index in byDistance[c] of the first tile at
 	// distance >= d from c; ringStart[c] has maxDist+2 entries so that
 	// byDistance[c][ringStart[c][d]:ringStart[c][d+1]] is exactly the ring of
 	// tiles at distance d. Placement search uses these precomputed rings to
-	// bound spirals and candidate sets without scanning the whole mesh.
+	// bound spirals and candidate sets without scanning the whole mesh. Nil
+	// in lazy mode.
 	ringStart [][]int
 
 	// memControllers are the tiles adjacent to memory controllers. Pages are
@@ -56,11 +84,27 @@ type Topology struct {
 	// meanPairDist is the mean distance between two uniformly random tiles
 	// (the expected hop count of an S-NUCA access).
 	meanPairDist float64
+
+	// clusters is the default cluster view (built on first use; see
+	// Clusters).
+	clustersOnce sync.Once
+	clusters     *Clusters
 }
 
-// New builds a width×height mesh. It panics if either dimension is < 1;
-// topology construction errors are programming errors, not runtime input.
+// New builds a width×height mesh: eager at or below LazyThreshold tiles,
+// lazy above it. It panics if either dimension is < 1; topology construction
+// errors are programming errors, not runtime input.
 func New(width, height int) *Topology {
+	if width >= 1 && height >= 1 && width*height > LazyThreshold {
+		return NewLazy(width, height)
+	}
+	return NewEager(width, height)
+}
+
+// NewEager builds a mesh with the full precomputed distance matrix and ring
+// arrays regardless of size. Exported so tests and benchmarks can compare the
+// two representations; production code should use New.
+func NewEager(width, height int) *Topology {
 	if width < 1 || height < 1 {
 		panic(fmt.Sprintf("mesh: invalid dimensions %dx%d", width, height))
 	}
@@ -142,6 +186,60 @@ func New(width, height int) *Topology {
 	return t
 }
 
+// NewLazy builds a mesh without the O(n²) arrays: O(n) memory total. All
+// distance queries are answered arithmetically and are bit-identical to the
+// eager representation (the equality is tested exhaustively on small meshes).
+// Exported for tests and benchmarks; production code should use New.
+func NewLazy(width, height int) *Topology {
+	if width < 1 || height < 1 {
+		panic(fmt.Sprintf("mesh: invalid dimensions %dx%d", width, height))
+	}
+	n := width * height
+	t := &Topology{width: width, height: height, lazy: true}
+
+	t.memControllers = edgeControllers(width, height)
+	t.avgMCDist = make([]float64, n)
+	for a := 0; a < n; a++ {
+		sum := 0
+		for _, mc := range t.memControllers {
+			sum += t.Distance(Tile(a), mc)
+		}
+		t.avgMCDist[a] = float64(sum) / float64(len(t.memControllers))
+	}
+
+	// Closed-form per-tile distance sums. The sum of |ax-x| over a row (and
+	// |ay-y| over a column) is a pair of triangular numbers, so the total
+	// distance from tile a to all tiles is h·Sx(ax) + w·Sy(ay). These are
+	// exact integers well below 2^53, and the eager path's float64
+	// accumulation of integer hop counts is also exact, so float64(total)/n
+	// reproduces the eager means bit for bit.
+	lineSum := func(p, n int) int { return p*(p+1)/2 + (n-1-p)*(n-p)/2 }
+	xSum := make([]int, width)
+	for x := 0; x < width; x++ {
+		xSum[x] = lineSum(x, width)
+	}
+	ySum := make([]int, height)
+	for y := 0; y < height; y++ {
+		ySum[y] = lineSum(y, height)
+	}
+	t.avgDist = make([]float64, n)
+	total := 0
+	for a := 0; a < n; a++ {
+		sum := height*xSum[a%width] + width*ySum[a/width]
+		t.avgDist[a] = float64(sum) / float64(n)
+		total += sum
+	}
+	t.meanPairDist = float64(total) / float64(n*n)
+
+	meanMC := 0.0
+	for a := 0; a < n; a++ {
+		meanMC += t.avgMCDist[a]
+	}
+	t.meanMCDist = meanMC / float64(n)
+
+	return t
+}
+
 // edgeControllers spreads 8 memory controllers around the chip edge (2 per
 // side, as in the paper's Fig. 3), degrading gracefully for small meshes.
 func edgeControllers(width, height int) []Tile {
@@ -180,6 +278,12 @@ func (t *Topology) Height() int { return t.height }
 // Tiles returns the number of tiles in the mesh.
 func (t *Topology) Tiles() int { return t.width * t.height }
 
+// Lazy reports whether the topology was built without the precomputed
+// distance matrix and ring arrays (tile count above LazyThreshold). Callers
+// on hot paths use it to pick allocation-free access patterns
+// (FillDistanceRow, RingFrom) over the shared-slice accessors.
+func (t *Topology) Lazy() bool { return t.lazy }
+
 // Coords returns the (x, y) coordinates of a tile.
 func (t *Topology) Coords(tile Tile) (x, y int) {
 	return int(tile) % t.width, int(tile) / t.width
@@ -192,14 +296,45 @@ func (t *Topology) TileAt(x, y int) Tile {
 
 // Distance returns the X-Y routing hop count between two tiles.
 func (t *Topology) Distance(a, b Tile) int {
-	return t.distance[a][b]
+	if !t.lazy {
+		return t.distance[a][b]
+	}
+	ax, ay := int(a)%t.width, int(a)/t.width
+	bx, by := int(b)%t.width, int(b)/t.width
+	return abs(ax-bx) + abs(ay-by)
 }
 
 // DistanceRow returns the hop counts from tile a to every tile, indexed by
 // tile id. The slice is shared; callers must not modify it. Hot placement
 // loops use it to hoist the row lookup out of per-bank iteration.
+//
+// In lazy mode the row is computed into a fresh allocation per call; loops
+// that care should use FillDistanceRow with a reused buffer instead.
 func (t *Topology) DistanceRow(a Tile) []int {
-	return t.distance[a]
+	if !t.lazy {
+		return t.distance[a]
+	}
+	return t.FillDistanceRow(a, make([]int, t.Tiles()))
+}
+
+// FillDistanceRow writes the hop counts from tile a to every tile into row
+// (which must have length Tiles()) and returns it. In eager mode it copies
+// the precomputed row, so values are identical across modes by construction.
+func (t *Topology) FillDistanceRow(a Tile, row []int) []int {
+	if !t.lazy {
+		copy(row, t.distance[a])
+		return row
+	}
+	ax, ay := int(a)%t.width, int(a)/t.width
+	i := 0
+	for y := 0; y < t.height; y++ {
+		dy := abs(y - ay)
+		for x := 0; x < t.width; x++ {
+			row[i] = abs(x-ax) + dy
+			i++
+		}
+	}
+	return row
 }
 
 // MeanDistanceFrom returns the mean hop count from tile a to all tiles: the
@@ -215,10 +350,31 @@ func (t *Topology) MeanMemDistance() float64 {
 }
 
 // ByDistance returns all tiles ordered by increasing distance from center
-// (deterministic tie-break by tile index). The returned slice is shared;
-// callers must not modify it.
+// (deterministic tie-break by tile index). The returned slice is shared in
+// eager mode and freshly built per call in lazy mode; callers must not
+// modify it. Loops that terminate early on large lazy meshes should use
+// RingFrom instead, which enumerates the same ordering incrementally without
+// materializing it.
 func (t *Topology) ByDistance(center Tile) []Tile {
-	return t.byDistance[center]
+	if !t.lazy {
+		return t.byDistance[center]
+	}
+	return t.byDistanceLazy(center)
+}
+
+// byDistanceLazy materializes the ordering a lazy topology never stores,
+// kept out of ByDistance so the eager fast path stays a plain inlinable
+// array access (hot placement loops range over it).
+func (t *Topology) byDistanceLazy(center Tile) []Tile {
+	out := make([]Tile, 0, t.Tiles())
+	cur := t.RingFrom(center)
+	for {
+		tile, ok := cur.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, tile)
+	}
 }
 
 // MaxDistance returns the mesh diameter: the largest possible hop count
@@ -228,14 +384,32 @@ func (t *Topology) MaxDistance() int {
 }
 
 // Ring returns the tiles at exactly distance d from center, in ascending
-// tile-index order (a slice of ByDistance(center); shared, do not modify).
-// Out-of-range distances return an empty ring.
+// tile-index order (in eager mode a shared slice of ByDistance(center); do
+// not modify). Out-of-range distances return an empty ring.
 func (t *Topology) Ring(center Tile, d int) []Tile {
 	if d < 0 || d > t.MaxDistance() {
 		return nil
 	}
-	s := t.ringStart[center]
-	return t.byDistance[center][s[d]:s[d+1]]
+	if !t.lazy {
+		s := t.ringStart[center]
+		return t.byDistance[center][s[d]:s[d+1]]
+	}
+	cx, cy := t.Coords(center)
+	var out []Tile
+	for y := max(0, cy-d); y <= min(t.height-1, cy+d); y++ {
+		dx := d - abs(y-cy)
+		if dx == 0 {
+			out = append(out, t.TileAt(cx, y))
+			continue
+		}
+		if x := cx - dx; x >= 0 {
+			out = append(out, t.TileAt(x, y))
+		}
+		if x := cx + dx; x < t.width {
+			out = append(out, t.TileAt(x, y))
+		}
+	}
+	return out
 }
 
 // WithinCount returns the number of tiles at distance <= d from center: the
@@ -248,7 +422,18 @@ func (t *Topology) WithinCount(center Tile, d int) int {
 	if d >= t.MaxDistance() {
 		return t.Tiles()
 	}
-	return t.ringStart[center][d+1]
+	if !t.lazy {
+		return t.ringStart[center][d+1]
+	}
+	cx, cy := t.Coords(center)
+	count := 0
+	for y := max(0, cy-d); y <= min(t.height-1, cy+d); y++ {
+		dx := d - abs(y-cy)
+		lo := max(0, cx-dx)
+		hi := min(t.width-1, cx+dx)
+		count += hi - lo + 1
+	}
+	return count
 }
 
 // RadiusCovering returns the smallest radius r such that at least k tiles lie
@@ -256,9 +441,17 @@ func (t *Topology) WithinCount(center Tile, d int) int {
 // virtual cache). k above the tile count saturates to the mesh diameter;
 // k <= 1 is radius 0.
 func (t *Topology) RadiusCovering(center Tile, k int) int {
-	s := t.ringStart[center]
+	if !t.lazy {
+		s := t.ringStart[center]
+		for r := 0; r <= t.MaxDistance(); r++ {
+			if s[r+1] >= k {
+				return r
+			}
+		}
+		return t.MaxDistance()
+	}
 	for r := 0; r <= t.MaxDistance(); r++ {
-		if s[r+1] >= k {
+		if t.WithinCount(center, r) >= k {
 			return r
 		}
 	}

@@ -24,9 +24,12 @@ type Arena struct {
 	accTh   []int
 	accRate []float64
 
-	// VCDistancesIn.
+	// VCDistancesIn (rowA/rowB also back other lazy-mesh distance rows via
+	// topoRow).
 	dist     [][]float64
 	distFlat []float64
+	rowA     []int
+	rowB     []int
 
 	// orderBySizeIn.
 	order []int
@@ -58,6 +61,63 @@ type Arena struct {
 	coms     []comAcc
 	freeCore []bool
 	threads  []mesh.Tile
+
+	// Hierarchical placement (hier.go).
+	hCaps    []float64
+	hSlots   []int
+	hCCores  []mesh.Tile
+	hPullX   []float64
+	hPullY   []float64
+	hCVCs    [][]hierVC
+	hEntries [][]hierEntry
+	hTrades  []int
+	hDeltas  []float64
+	hWorkers []*hierWorker
+	hSubTopo map[[2]int]*mesh.Topology
+	hCoarse  *Arena
+}
+
+// coarse returns the sub-arena hierarchical placement threads through the
+// coarse-mesh calls, so coarse scratch never clobbers the fine results being
+// assembled in the parent arena.
+func (a *Arena) coarse() *Arena {
+	if a.hCoarse == nil {
+		a.hCoarse = NewArena()
+	}
+	return a.hCoarse
+}
+
+// growClusterVCs returns n per-cluster VC-slice lists, each truncated to
+// empty while keeping its capacity.
+func growClusterVCs(buf *[][]hierVC, n int) [][]hierVC {
+	s := *buf
+	if cap(s) < n {
+		ns := make([][]hierVC, n)
+		copy(ns, s[:cap(s)])
+		s = ns
+	} else {
+		s = s[:n]
+	}
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	*buf = s
+	return s
+}
+
+// growClusterEntries returns n per-cluster entry buffers with their
+// capacities retained. Entries are truncated by the workers that own them.
+func growClusterEntries(buf *[][]hierEntry, n int) [][]hierEntry {
+	s := *buf
+	if cap(s) < n {
+		ns := make([][]hierEntry, n)
+		copy(ns, s[:cap(s)])
+		s = ns
+	} else {
+		s = s[:n]
+	}
+	*buf = s
+	return s
 }
 
 // NewArena returns an empty arena; buffers grow on first use.

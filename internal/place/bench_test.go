@@ -140,23 +140,37 @@ func pipelineInstance(w, h int) (Chip, []Demand, []mesh.Tile) {
 	return chip, demands, threads
 }
 
+// pipelineOnce runs steps 2-4 with the same size dispatch internal/core
+// uses: flat at or below HierarchyThreshold banks, hierarchical above.
+func pipelineOnce(ar *Arena, chip Chip, demands []Demand) {
+	if Hierarchical(chip) {
+		opt := HierOptimisticPlaceIn(ar, chip, demands)
+		threads := HierPlaceThreadsIn(ar, chip, demands, opt, len(demands))
+		HierGreedyRefineIn(ar, chip, demands, threads, chip.BankLines/8, true)
+		return
+	}
+	opt := OptimisticPlaceIn(ar, chip, demands)
+	threads := PlaceThreadsIn(ar, chip, demands, opt, len(demands))
+	assign := GreedyIn(ar, chip, demands, threads, chip.BankLines/8)
+	RefineIn(ar, chip, demands, assign, threads)
+}
+
 // BenchmarkPlacePipeline runs the full steps-2-4 pipeline (optimistic VC
 // placement, thread placement, greedy data placement, one refine pass) on
 // one reused arena, at the paper's 8×8 scale, the 24×24 and 32×32 scaling
-// points, and the 64×64 (stride-4 lattice) kilo-tile frontier. allocs/op is
-// the headline number: after warm-up the pipeline must not allocate.
+// points, the 64×64 (stride-4 lattice) kilo-tile ceiling of the flat path,
+// and the 96×96/128×128 hierarchical frontier. allocs/op is the headline
+// number: after warm-up the flat pipeline must not allocate (the
+// hierarchical sizes retain only the bounded goroutine fan-out).
 func BenchmarkPlacePipeline(b *testing.B) {
-	for _, dims := range [][2]int{{8, 8}, {24, 24}, {32, 32}, {64, 64}} {
+	for _, dims := range [][2]int{{8, 8}, {24, 24}, {32, 32}, {64, 64}, {96, 96}, {128, 128}} {
 		b.Run(fmt.Sprintf("%dx%d", dims[0], dims[1]), func(b *testing.B) {
 			chip, demands, _ := pipelineInstance(dims[0], dims[1])
 			ar := NewArena()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				opt := OptimisticPlaceIn(ar, chip, demands)
-				threads := PlaceThreadsIn(ar, chip, demands, opt, len(demands))
-				assign := GreedyIn(ar, chip, demands, threads, chip.BankLines/8)
-				RefineIn(ar, chip, demands, assign, threads)
+				pipelineOnce(ar, chip, demands)
 			}
 		})
 	}

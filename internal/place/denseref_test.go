@@ -494,13 +494,15 @@ func assignEqual(t *testing.T, label string, ref refAssignment, got Assignment) 
 }
 
 // TestDenseMatchesMapReference is the bit-identity property: across
-// randomized demands from the paper's 8×8 up to 64×64 (past PruneThreshold
-// and through every lattice-stride regime), the dense pipeline — optimistic
-// placement, thread placement, greedy, refine — produces exactly the
-// reference's placements, and the Eq. 2 hop reductions are bit-equal
-// floats, not approximately equal.
+// randomized demands from the paper's 8×8 up to 96×96 (past PruneThreshold,
+// through every lattice-stride regime, past sparseBankThreshold into the
+// sparse BankAlloc representation, and past mesh.LazyThreshold onto the
+// lazy cursor-driven topology), the dense pipeline — optimistic placement,
+// thread placement, greedy, refine — produces exactly the reference's
+// placements, and the Eq. 2 hop reductions are bit-equal floats, not
+// approximately equal.
 func TestDenseMatchesMapReference(t *testing.T) {
-	dims := [][2]int{{8, 8}, {16, 16}, {24, 24}, {32, 32}, {48, 48}, {64, 64}}
+	dims := [][2]int{{8, 8}, {16, 16}, {24, 24}, {32, 32}, {48, 48}, {64, 64}, {96, 96}}
 	for _, wh := range dims {
 		w, h := wh[0], wh[1]
 		trials := 6

@@ -25,7 +25,7 @@ func GreedyIn(ar *Arena, chip Chip, demands []Demand, threadCore []mesh.Tile, ch
 	assign := arenaAssignment(&ar.assign, len(demands), nb)
 	free := grow(&ar.free, nb)
 	for i := range free {
-		free[i] = chip.BankLines
+		free[i] = chip.CapOf(mesh.Tile(i))
 	}
 
 	// Per-VC bank preference order and a cursor over it. Two kinds of rows:

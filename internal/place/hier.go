@@ -1,0 +1,332 @@
+package place
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"cdcs/internal/mesh"
+)
+
+// HierarchyThreshold is the bank count above which placement dispatches
+// through the two-level hierarchical path (internal/core does the dispatch).
+// At or below the threshold — which covers every configuration up through the
+// 64×64 ext-scaling point — the hierarchical functions are never invoked, so
+// placement stays bit-identical to the flat pipeline by construction; the
+// golden corpus enforces that. Above it, the flat pipeline's remaining
+// O(banks²) work (per-VC distance rows, full-mesh candidate scans) would
+// dominate, so placement runs over the mesh's cluster view instead: the exact
+// scans of the paper applied to at most DefaultMaxClusters super-tiles, then
+// refined independently within each cluster.
+const HierarchyThreshold = 4096
+
+// hierWorkers overrides the interior-refinement worker count when positive.
+// Tests use it to prove placements are identical for any worker count.
+var hierWorkers = 0
+
+// Hierarchical reports whether chip is large enough that placement dispatches
+// through the hierarchical path.
+func Hierarchical(chip Chip) bool { return chip.Banks() > HierarchyThreshold }
+
+// coarseChipIn builds the cluster-granularity chip: one "bank" per cluster
+// whose capacity is the cluster's total fine capacity (ragged edge clusters
+// hold fewer tiles, hence less).
+func coarseChipIn(ar *Arena, chip Chip, cl *mesh.Clusters) Chip {
+	caps := grow(&ar.hCaps, cl.N())
+	for c := range caps {
+		caps[c] = float64(cl.Count(mesh.Tile(c))) * chip.BankLines
+	}
+	return Chip{Topo: cl.Coarse(), BankLines: chip.BankLines, BankCap: caps}
+}
+
+// HierOptimisticPlaceIn is the hierarchical form of OptimisticPlaceIn: the
+// optimistic contention-aware search (§IV-D) runs exhaustively over the
+// coarse cluster mesh — the same machinery, one level up — and each VC's
+// coarse claims land on the claiming cluster's representative tile, which is
+// all thread placement needs (it only consumes the claims' centers of mass).
+func HierOptimisticPlaceIn(ar *Arena, chip Chip, demands []Demand) Optimistic {
+	cl := chip.Topo.Clusters()
+	copt := OptimisticPlaceIn(ar.coarse(), coarseChipIn(ar, chip, cl), demands)
+
+	out := Optimistic{
+		Center: grow(&ar.centers, len(demands)),
+		Claims: arenaAssignment(&ar.claims, len(demands), chip.Banks()),
+		CoM:    grow(&ar.com, len(demands)),
+	}
+	for v := range demands {
+		out.Center[v] = cl.Rep(copt.Center[v])
+		cv := &copt.Claims[v]
+		for i := 0; i < cv.Len(); i++ {
+			c, l := cv.At(i)
+			out.Claims[v].Set(cl.Rep(c), l)
+		}
+		x, y := CenterOfMass(chip, &out.Claims[v])
+		out.CoM[v] = Point{x, y}
+	}
+	return out
+}
+
+// HierPlaceThreadsIn is the hierarchical form of PlaceThreadsIn (§IV-E).
+// Threads are ranked exactly as in the flat placer; each then picks the
+// free-slot cluster whose centroid is closest to its preferred point
+// (ascending cluster scan, strict improvement — deterministic), and finally
+// the free core within that cluster under the flat placer's comparator,
+// scanning member tiles in ascending global index. Per thread this costs
+// O(clusters + cluster size) instead of O(banks).
+func HierPlaceThreadsIn(ar *Arena, chip Chip, demands []Demand, opt Optimistic, nThreads int) []mesh.Tile {
+	cl := chip.Topo.Clusters()
+	infos := threadInfosIn(ar, chip, demands, opt, nThreads)
+
+	slots := grow(&ar.hSlots, cl.N())
+	for c := range slots {
+		slots[c] = cl.Count(mesh.Tile(c))
+	}
+	free := grow(&ar.freeCore, chip.Banks())
+	for i := range free {
+		free[i] = true
+	}
+	out := grow(&ar.threads, nThreads)
+	for i := range infos {
+		info := &infos[i]
+		best := -1
+		bestDist := 0.0
+		for c := 0; c < cl.N(); c++ {
+			if slots[c] == 0 {
+				continue
+			}
+			cx, cy := cl.Centroid(mesh.Tile(c))
+			d := math.Abs(cx-info.comX) + math.Abs(cy-info.comY)
+			if best < 0 || d < bestDist-1e-12 {
+				best, bestDist = c, d
+			}
+		}
+		if best < 0 {
+			panic("place: more threads than cores")
+		}
+		slots[best]--
+		x0, y0, x1, y1 := cl.Bounds(mesh.Tile(best))
+		bc := -1
+		bcd := 0.0
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				t := chip.Topo.TileAt(x, y)
+				if !free[t] {
+					continue
+				}
+				d := chip.Topo.DistanceToPoint(t, info.comX, info.comY)
+				if bc < 0 || d < bcd-1e-12 {
+					bc, bcd = int(t), d
+				}
+			}
+		}
+		free[bc] = false
+		out[info.id] = mesh.Tile(bc)
+	}
+	return out
+}
+
+// hierVC is one VC's capacity slice inside one cluster.
+type hierVC struct {
+	v     int
+	lines float64
+}
+
+// hierEntry is one merged placement record: VC v holds lines in fine bank b.
+type hierEntry struct {
+	v     int
+	bank  mesh.Tile
+	lines float64
+}
+
+// hierWorker holds one interior-refinement worker's private scratch. Workers
+// never share mutable state: each owns its arena and demand backings, writes
+// only its clusters' entry buffers, and results are merged sequentially.
+type hierWorker struct {
+	ar    *Arena
+	ds    []Demand
+	ths   []int
+	rates []float64
+	cores []mesh.Tile
+}
+
+// HierGreedyRefineIn is the hierarchical form of GreedyIn (+ RefineIn when
+// refine is set): steps that replace the flat §IV-F data placement above
+// HierarchyThreshold banks.
+//
+// Level 1 places capacity greedily over the coarse cluster mesh (threads
+// projected to their clusters) and, when refine is set, runs the bounded
+// trade spiral there — inter-cluster moves in cluster hops, whose latency
+// gain is reported scaled by the cluster side to approximate fine hops.
+//
+// Level 2 refines each cluster's interior independently: the VC slices the
+// coarse pass left in a cluster become single-accessor local demands pulled
+// toward the VC's rate-weighted accessor centroid (clamped into the cluster),
+// placed and trade-refined on a small eager sub-mesh. Interiors fan out
+// across a bounded worker pool; every cluster's subproblem is independent and
+// buffers are merged in ascending cluster order, so the result is identical
+// for any worker count. Sub-meshes are memoized per distinct cluster shape
+// (at most four: interior, right edge, bottom edge, corner).
+func HierGreedyRefineIn(ar *Arena, chip Chip, demands []Demand, threadCore []mesh.Tile, chunk float64, refine bool) (Assignment, int, float64) {
+	cl := chip.Topo.Clusters()
+	cchip := coarseChipIn(ar, chip, cl)
+
+	// Level 1: coarse placement with threads projected onto clusters.
+	cCores := grow(&ar.hCCores, len(threadCore))
+	for t, core := range threadCore {
+		cCores[t] = cl.Of(core)
+	}
+	ca := ar.coarse()
+	cAssign := GreedyIn(ca, cchip, demands, cCores, chunk)
+	trades, delta := 0, 0.0
+	if refine {
+		tr, dl := RefineIn(ca, cchip, demands, cAssign, cCores)
+		trades, delta = tr, dl*float64(cl.Side())
+	}
+
+	// Group the coarse result by cluster: ascending VC order within each.
+	cvcs := growClusterVCs(&ar.hCVCs, cl.N())
+	for v := range demands {
+		cv := &cAssign[v]
+		for i := 0; i < cv.Len(); i++ {
+			if c, l := cv.At(i); l > 1e-9 {
+				cvcs[c] = append(cvcs[c], hierVC{v, l})
+			}
+		}
+	}
+
+	// Pull points: where each VC's data wants to sit on the fine mesh.
+	pullX := grow(&ar.hPullX, len(demands))
+	pullY := grow(&ar.hPullY, len(demands))
+	ccx, ccy := chip.Topo.Coords(chip.Topo.CenterTile())
+	for v := range demands {
+		d := &demands[v]
+		if total := d.TotalRate(); total > 0 {
+			var wx, wy float64
+			for i, t := range d.Threads {
+				tx, ty := chip.Topo.Coords(threadCore[t])
+				wx += d.Rates[i] * float64(tx)
+				wy += d.Rates[i] * float64(ty)
+			}
+			pullX[v], pullY[v] = wx/total, wy/total
+		} else {
+			pullX[v], pullY[v] = float64(ccx), float64(ccy)
+		}
+	}
+
+	// Memoize the sub-meshes every needed cluster shape uses, before the
+	// parallel phase (map writes are not synchronized).
+	if ar.hSubTopo == nil {
+		ar.hSubTopo = make(map[[2]int]*mesh.Topology)
+	}
+	for c := 0; c < cl.N(); c++ {
+		x0, y0, x1, y1 := cl.Bounds(mesh.Tile(c))
+		k := [2]int{x1 - x0, y1 - y0}
+		if ar.hSubTopo[k] == nil {
+			ar.hSubTopo[k] = mesh.NewEager(k[0], k[1])
+		}
+	}
+
+	// Level 2: independent per-cluster interiors across a bounded pool.
+	entries := growClusterEntries(&ar.hEntries, cl.N())
+	cTrades := grow(&ar.hTrades, cl.N())
+	cDeltas := grow(&ar.hDeltas, cl.N())
+	nw := runtime.GOMAXPROCS(0)
+	if nw > 8 {
+		nw = 8
+	}
+	if hierWorkers > 0 {
+		nw = hierWorkers
+	}
+	if nw > cl.N() {
+		nw = cl.N()
+	}
+	for len(ar.hWorkers) < nw {
+		ar.hWorkers = append(ar.hWorkers, &hierWorker{ar: NewArena()})
+	}
+	per := (cl.N() + nw - 1) / nw
+	var wg sync.WaitGroup
+	for k := 0; k < nw; k++ {
+		lo, hi := k*per, min((k+1)*per, cl.N())
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w *hierWorker, lo, hi int) {
+			defer wg.Done()
+			for c := lo; c < hi; c++ {
+				entries[c] = w.interior(chip, cl, ar.hSubTopo, c, cvcs[c],
+					pullX, pullY, demands, chunk, refine,
+					entries[c][:0], &cTrades[c], &cDeltas[c])
+			}
+		}(ar.hWorkers[k], lo, hi)
+	}
+	wg.Wait()
+
+	// Merge in ascending cluster order. Every fine bank belongs to exactly
+	// one cluster and each (VC, bank) pair appears at most once per cluster,
+	// so Set never collides; the order fixes the sparse-index build but the
+	// values themselves are independent of it.
+	out := arenaAssignment(&ar.assign, len(demands), chip.Banks())
+	for c := 0; c < cl.N(); c++ {
+		for _, e := range entries[c] {
+			out[e.v].Set(e.bank, e.lines)
+		}
+		trades += cTrades[c]
+		delta += cDeltas[c]
+	}
+	return out, trades, delta
+}
+
+// interior solves one cluster's placement subproblem: each VC slice becomes a
+// single-accessor demand whose synthetic core is the VC's pull point clamped
+// into the cluster, placed greedily (and trade-refined) on the cluster's
+// sub-mesh. Appends the resulting fine-bank records to entries.
+func (w *hierWorker) interior(chip Chip, cl *mesh.Clusters, subTopo map[[2]int]*mesh.Topology,
+	c int, vcs []hierVC, pullX, pullY []float64, demands []Demand,
+	chunk float64, refine bool, entries []hierEntry, trades *int, delta *float64) []hierEntry {
+	*trades, *delta = 0, 0
+	if len(vcs) == 0 {
+		return entries
+	}
+	x0, y0, x1, y1 := cl.Bounds(mesh.Tile(c))
+	sub := subTopo[[2]int{x1 - x0, y1 - y0}]
+	schip := Chip{Topo: sub, BankLines: chip.BankLines}
+
+	nv := len(vcs)
+	ths := ensure(&w.ths, nv)
+	rates := ensure(&w.rates, nv)
+	cores := ensure(&w.cores, nv)
+	ds := ensure(&w.ds, nv)
+	for i, e := range vcs {
+		ths[i] = i
+		rates[i] = demands[e.v].TotalRate()
+		ds[i] = Demand{Size: e.lines, Threads: ths[i : i+1 : i+1], Rates: rates[i : i+1 : i+1]}
+		px := clampF(pullX[e.v], float64(x0), float64(x1-1))
+		py := clampF(pullY[e.v], float64(y0), float64(y1-1))
+		cores[i] = sub.NearestTile(px-float64(x0), py-float64(y0))
+	}
+
+	assign := GreedyIn(w.ar, schip, ds, cores, chunk)
+	if refine {
+		*trades, *delta = RefineIn(w.ar, schip, ds, assign, cores)
+	}
+	for i := range assign {
+		av := &assign[i]
+		for j := 0; j < av.Len(); j++ {
+			b, l := av.At(j)
+			bx, by := sub.Coords(b)
+			entries = append(entries, hierEntry{vcs[i].v, chip.Topo.TileAt(x0+bx, y0+by), l})
+		}
+	}
+	return entries
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

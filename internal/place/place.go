@@ -27,13 +27,35 @@ import (
 type Chip struct {
 	Topo      *mesh.Topology
 	BankLines float64
+	// BankCap optionally overrides per-bank capacity (indexed by bank id);
+	// nil means every bank holds BankLines. The hierarchical path uses it to
+	// present a cluster-granularity chip whose "banks" are whole clusters of
+	// differing size (ragged edge clusters hold fewer tiles).
+	BankCap []float64
 }
 
 // Banks returns the number of banks (== tiles).
 func (c Chip) Banks() int { return c.Topo.Tiles() }
 
+// CapOf returns bank b's capacity in lines.
+func (c Chip) CapOf(b mesh.Tile) float64 {
+	if c.BankCap != nil {
+		return c.BankCap[b]
+	}
+	return c.BankLines
+}
+
 // TotalLines returns chip-wide LLC capacity in lines.
-func (c Chip) TotalLines() float64 { return float64(c.Banks()) * c.BankLines }
+func (c Chip) TotalLines() float64 {
+	if c.BankCap != nil {
+		s := 0.0
+		for _, v := range c.BankCap {
+			s += v
+		}
+		return s
+	}
+	return float64(c.Banks()) * c.BankLines
+}
 
 // Demand describes one VC to the placement algorithms. Accessors are stored
 // densely, sorted by thread id at construction, so reductions over them are
@@ -73,9 +95,22 @@ func (d Demand) TotalRate() float64 {
 	return s
 }
 
-// BankAlloc is one VC's per-bank allocation: lines indexed directly by bank
-// id, plus a sorted sparse index of the banks ever written. Iteration over
-// Banks() is a linear walk in ascending bank order.
+// sparseBankThreshold is the bank count above which a BankAlloc stores only
+// its touched banks. The dense arrays cost O(banks) per VC regardless of use;
+// with one VC per tile that is O(n²) per assignment — ~150 MB at 64×64 and
+// 2.4 GB at 128×128 — while a VC's footprint only ever spans a handful of
+// banks. The sparse form holds the same values in the same ascending-bank
+// iteration order, so every reduction walks the identical sequence and
+// results are bit-identical across representations (the map-reference
+// oracle in denseref_test pins this through 96×96).
+const sparseBankThreshold = 2048
+
+// BankAlloc is one VC's per-bank allocation. At or below
+// sparseBankThreshold banks it stores lines indexed directly by bank id plus
+// a sorted sparse index of the banks ever written; above the threshold the
+// dense arrays are dropped and values live in vals, parallel to the sorted
+// index. Iteration over Banks() is a linear walk in ascending bank order in
+// both forms.
 //
 // A touched bank stays in the index even when arithmetic drives its lines
 // back to exactly zero, mirroring the key semantics of the map
@@ -83,23 +118,32 @@ func (d Demand) TotalRate() float64 {
 // behind); reductions are unaffected because zero entries contribute
 // exactly 0.0 to every sum.
 type BankAlloc struct {
-	lines   []float64   // lines per bank, indexed by bank id
-	touched []bool      // whether the bank is in the sparse index
+	sparse  bool
+	lines   []float64   // dense: lines per bank, indexed by bank id
+	touched []bool      // dense: whether the bank is in the sparse index
 	banks   []mesh.Tile // touched banks in ascending id order
+	vals    []float64   // sparse: vals[i] is banks[i]'s lines
 }
 
 // init prepares the alloc for the given bank count, clearing any previous
-// contents while reusing capacity.
+// contents while reusing capacity, and picks the representation.
 func (a *BankAlloc) init(banks int) {
-	for _, b := range a.banks {
-		a.lines[b] = 0
-		a.touched[b] = false
+	if !a.sparse {
+		for _, b := range a.banks {
+			a.lines[b] = 0
+			a.touched[b] = false
+		}
 	}
 	a.banks = a.banks[:0]
+	a.vals = a.vals[:0]
+	if banks > sparseBankThreshold {
+		a.sparse = true
+		return
+	}
+	a.sparse = false
 	if cap(a.lines) < banks {
 		a.lines = make([]float64, banks)
 		a.touched = make([]bool, banks)
-		a.banks = make([]mesh.Tile, 0, 8)
 		return
 	}
 	a.lines = a.lines[:banks]
@@ -108,9 +152,17 @@ func (a *BankAlloc) init(banks int) {
 
 // Get returns the lines held in bank b (zero when the bank was never
 // written).
-func (a *BankAlloc) Get(b mesh.Tile) float64 { return a.lines[b] }
+func (a *BankAlloc) Get(b mesh.Tile) float64 {
+	if !a.sparse {
+		return a.lines[b]
+	}
+	if i, ok := slices.BinarySearch(a.banks, b); ok {
+		return a.vals[i]
+	}
+	return 0
+}
 
-// touch inserts b into the sorted sparse index if absent.
+// touch inserts b into the sorted sparse index if absent (dense form only).
 func (a *BankAlloc) touch(b mesh.Tile) {
 	if a.touched[b] {
 		return
@@ -122,17 +174,40 @@ func (a *BankAlloc) touch(b mesh.Tile) {
 	a.banks[i] = b
 }
 
+// idx returns b's position in the sparse index, inserting a zero entry if
+// absent (sparse form only).
+func (a *BankAlloc) idx(b mesh.Tile) int {
+	i, ok := slices.BinarySearch(a.banks, b)
+	if !ok {
+		a.banks = append(a.banks, 0)
+		copy(a.banks[i+1:], a.banks[i:])
+		a.banks[i] = b
+		a.vals = append(a.vals, 0)
+		copy(a.vals[i+1:], a.vals[i:])
+		a.vals[i] = 0
+	}
+	return i
+}
+
 // Add adds delta lines to bank b (negative deltas remove capacity). The bank
 // stays in the iteration index even if its lines reach zero.
 func (a *BankAlloc) Add(b mesh.Tile, delta float64) {
-	a.touch(b)
-	a.lines[b] += delta
+	if !a.sparse {
+		a.touch(b)
+		a.lines[b] += delta
+		return
+	}
+	a.vals[a.idx(b)] += delta
 }
 
 // Set sets bank b's lines.
 func (a *BankAlloc) Set(b mesh.Tile, v float64) {
-	a.touch(b)
-	a.lines[b] = v
+	if !a.sparse {
+		a.touch(b)
+		a.lines[b] = v
+		return
+	}
+	a.vals[a.idx(b)] = v
 }
 
 // Banks returns the touched banks in ascending id order. The slice is shared
@@ -142,12 +217,24 @@ func (a *BankAlloc) Banks() []mesh.Tile { return a.banks }
 // Len returns the number of touched banks.
 func (a *BankAlloc) Len() int { return len(a.banks) }
 
+// At returns the i'th touched bank (ascending id order) and its lines:
+// the representation-agnostic iteration primitive for reductions.
+func (a *BankAlloc) At(i int) (mesh.Tile, float64) {
+	b := a.banks[i]
+	if a.sparse {
+		return b, a.vals[i]
+	}
+	return b, a.lines[b]
+}
+
 // clone returns an independent deep copy.
 func (a *BankAlloc) clone() BankAlloc {
 	return BankAlloc{
+		sparse:  a.sparse,
 		lines:   append([]float64(nil), a.lines...),
 		touched: append([]bool(nil), a.touched...),
 		banks:   append([]mesh.Tile(nil), a.banks...),
+		vals:    append([]float64(nil), a.vals...),
 	}
 }
 
@@ -169,8 +256,9 @@ func NewAssignment(n, banks int) Assignment {
 func (a Assignment) Placed(v int) float64 {
 	al := &a[v]
 	s := 0.0
-	for _, b := range al.banks {
-		s += al.lines[b]
+	for i := 0; i < al.Len(); i++ {
+		_, l := al.At(i)
+		s += l
 	}
 	return s
 }
@@ -185,8 +273,9 @@ func (a Assignment) BankUsage(banks int) []float64 {
 func (a Assignment) BankUsageInto(use []float64) []float64 {
 	for v := range a {
 		al := &a[v]
-		for _, b := range al.banks {
-			use[b] += al.lines[b]
+		for i := 0; i < al.Len(); i++ {
+			b, l := al.At(i)
+			use[b] += l
 		}
 	}
 	return use
@@ -209,14 +298,15 @@ func (a Assignment) Validate(chip Chip, demands []Demand, tol float64) error {
 	}
 	use := a.BankUsage(chip.Banks())
 	for b, u := range use {
-		if u > chip.BankLines+tol {
-			return fmt.Errorf("place: bank %d over capacity: %g > %g", b, u, chip.BankLines)
+		if u > chip.CapOf(mesh.Tile(b))+tol {
+			return fmt.Errorf("place: bank %d over capacity: %g > %g", b, u, chip.CapOf(mesh.Tile(b)))
 		}
 	}
 	for v := range a {
 		al := &a[v]
-		for _, b := range al.banks {
-			if l := al.lines[b]; l < -tol {
+		for i := 0; i < al.Len(); i++ {
+			b, l := al.At(i)
+			if l < -tol {
 				return fmt.Errorf("place: VC %d negative allocation %g in bank %d", v, l, b)
 			}
 			if int(b) < 0 || int(b) >= chip.Banks() {
@@ -243,7 +333,7 @@ func VCDistancesIn(ar *Arena, chip Chip, demands []Demand, threadCore []mesh.Til
 	n := chip.Banks()
 	flat := grow(&ar.distFlat, len(demands)*n)
 	rows := grow(&ar.dist, len(demands))
-	centerRow := chip.Topo.DistanceRow(chip.Topo.CenterTile())
+	centerRow := topoRow(&ar.rowA, chip.Topo, chip.Topo.CenterTile())
 	for v := range demands {
 		d := &demands[v]
 		row := flat[v*n : (v+1)*n : (v+1)*n]
@@ -260,7 +350,7 @@ func VCDistancesIn(ar *Arena, chip Chip, demands []Demand, threadCore []mesh.Til
 		// map representation used, while letting the distance row hoist out).
 		for i, t := range d.Threads {
 			rate := d.Rates[i]
-			tr := chip.Topo.DistanceRow(threadCore[t])
+			tr := topoRow(&ar.rowB, chip.Topo, threadCore[t])
 			for b := 0; b < n; b++ {
 				row[b] += rate * float64(tr[b])
 			}
@@ -270,6 +360,16 @@ func VCDistancesIn(ar *Arena, chip Chip, demands []Demand, threadCore []mesh.Til
 		}
 	}
 	return rows
+}
+
+// topoRow returns a's full distance row: the topology's own precomputed row
+// when eager (zero cost), or buf filled in place when lazy (DistanceRow on a
+// lazy mesh would allocate a fresh O(n) slice per call).
+func topoRow(buf *[]int, topo *mesh.Topology, a mesh.Tile) []int {
+	if !topo.Lazy() {
+		return topo.DistanceRow(a)
+	}
+	return topo.FillDistanceRow(a, ensure(buf, topo.Tiles()))
 }
 
 // OnChipLatency evaluates Eq. 2 in access·hops: for every thread and bank,
@@ -284,11 +384,22 @@ func OnChipLatency(chip Chip, demands []Demand, assign Assignment, threadCore []
 			continue
 		}
 		av := &assign[v]
-		for _, b := range av.banks {
-			frac := av.lines[b] / size
-			row := chip.Topo.DistanceRow(b)
-			for i, t := range d.Threads {
-				total += d.Rates[i] * frac * float64(row[threadCore[t]])
+		if chip.Topo.Lazy() {
+			for i := 0; i < av.Len(); i++ {
+				b, l := av.At(i)
+				frac := l / size
+				for j, t := range d.Threads {
+					total += d.Rates[j] * frac * float64(chip.Topo.Distance(b, threadCore[t]))
+				}
+			}
+		} else {
+			for i := 0; i < av.Len(); i++ {
+				b, l := av.At(i)
+				frac := l / size
+				row := chip.Topo.DistanceRow(b)
+				for j, t := range d.Threads {
+					total += d.Rates[j] * frac * float64(row[threadCore[t]])
+				}
 			}
 		}
 	}
@@ -300,8 +411,8 @@ func OnChipLatency(chip Chip, demands []Demand, assign Assignment, threadCore []
 // ascending bank order without allocating.
 func CenterOfMass(chip Chip, alloc *BankAlloc) (x, y float64) {
 	var wx, wy, wsum float64
-	for _, b := range alloc.banks {
-		w := alloc.lines[b]
+	for i := 0; i < alloc.Len(); i++ {
+		b, w := alloc.At(i)
 		tx, ty := chip.Topo.Coords(b)
 		wx += w * float64(tx)
 		wy += w * float64(ty)

@@ -154,7 +154,18 @@ func prunedScan(se *centerSearch) {
 	}
 	for i := 0; i < nTop; i++ {
 		c := top[i].tile
-		for _, b := range topo.ByDistance(c)[:topo.WithinCount(c, radius)] {
+		if !topo.Lazy() {
+			for _, b := range topo.ByDistance(c)[:topo.WithinCount(c, radius)] {
+				se.consider(b)
+			}
+			continue
+		}
+		cur := topo.RingFrom(c)
+		for {
+			b, ok := cur.Next()
+			if !ok || cur.Dist() > radius {
+				break
+			}
 			se.consider(b)
 		}
 	}

@@ -44,8 +44,8 @@ func RefineIn(ar *Arena, chip Chip, demands []Demand, assign Assignment, threadC
 	residents := growResidents(&ar.residents, chip.Banks())
 	for v := range assign {
 		av := &assign[v]
-		for _, b := range av.banks {
-			if av.lines[b] > 1e-9 {
+		for i := 0; i < av.Len(); i++ {
+			if b, l := av.At(i); l > 1e-9 {
 				residents[b] = append(residents[b], v)
 			}
 		}
@@ -75,9 +75,14 @@ func RefineIn(ar *Arena, chip Chip, demands []Demand, assign Assignment, threadC
 		// long-distance trades it would cut are precisely what recovers
 		// latency when greedy scatters late VCs far out (a 4-footprint cap
 		// cost CDCS ~5% WS at 1024 tiles on ext-scaling).
-		for _, b := range chip.Topo.ByDistance(com) {
+		cur := chip.Topo.RingFrom(com)
+		for {
+			b, ok := cur.Next()
+			if !ok {
+				break
+			}
 			have := av.Get(b)
-			if have < chip.BankLines-1e-9 {
+			if have < chip.CapOf(b)-1e-9 {
 				desirables = append(desirables, desirable{b, dist[v][b]})
 			}
 			if have <= 1e-9 {
@@ -105,7 +110,7 @@ func RefineIn(ar *Arena, chip Chip, demands []Demand, assign Assignment, threadC
 
 				// Free space first: a move into unclaimed capacity has no
 				// counterparty and always helps.
-				if room := chip.BankLines - used[cand.bank]; room > 1e-9 {
+				if room := chip.CapOf(cand.bank) - used[cand.bank]; room > 1e-9 {
 					m := minF(av.Get(b), room)
 					moveCapacity(assign, used, residents, v, b, cand.bank, m)
 					trades++

@@ -31,14 +31,15 @@ func PlaceThreads(chip Chip, demands []Demand, opt Optimistic, nThreads int) []m
 	return PlaceThreadsIn(NewArena(), chip, demands, opt, nThreads)
 }
 
-// PlaceThreadsIn is PlaceThreads with scratch (and the returned placement's
-// backing) taken from ar.
-func PlaceThreadsIn(ar *Arena, chip Chip, demands []Demand, opt Optimistic, nThreads int) []mesh.Tile {
+// threadInfosIn accumulates per-thread priority and preferred center of mass
+// over the accessed VCs and returns the threads sorted by descending priority
+// (index tie-break): the shared front half of the flat and hierarchical
+// thread placers. The slice is arena scratch.
+func threadInfosIn(ar *Arena, chip Chip, demands []Demand, opt Optimistic, nThreads int) []threadInfo {
 	infos := grow(&ar.infos, nThreads)
 	for t := 0; t < nThreads; t++ {
 		infos[t].id = t
 	}
-	// Accumulate per-thread priority and center of mass over accessed VCs.
 	coms := grow(&ar.coms, nThreads)
 	for v := range demands {
 		d := &demands[v]
@@ -75,6 +76,13 @@ func PlaceThreadsIn(ar *Arena, chip Chip, demands []Demand, opt Optimistic, nThr
 		}
 		return a.id - b.id
 	})
+	return infos
+}
+
+// PlaceThreadsIn is PlaceThreads with scratch (and the returned placement's
+// backing) taken from ar.
+func PlaceThreadsIn(ar *Arena, chip Chip, demands []Demand, opt Optimistic, nThreads int) []mesh.Tile {
+	infos := threadInfosIn(ar, chip, demands, opt, nThreads)
 
 	free := grow(&ar.freeCore, chip.Banks())
 	for i := range free {

@@ -36,7 +36,7 @@ func TestSweepEndpointValidation(t *testing.T) {
 		{"bad JSON", `{nope`, 400, "bad request body"},
 		{"unknown field", `{"mseh": []}`, 400, "unknown field"},
 		{"no mixes", `{"schemes": ["CDCS"]}`, 400, "at least one mix"},
-		{"oversize mesh", `{"mesh": [{"width": 65, "height": 65}], "mixes": [{"kind": "casestudy"}]}`, 400, "exceeds"},
+		{"oversize mesh", `{"mesh": [{"width": 129, "height": 128}], "mixes": [{"kind": "casestudy"}]}`, 400, "exceeds"},
 		{"unknown scheme", `{"mixes": [{"kind": "casestudy"}], "schemes": ["NUCA-9000"]}`, 400, "unknown scheme"},
 		{"unknown bench", `{"mixes": [{"kind": "apps", "apps": [{"bench": "no-such"}]}]}`, 400, "unknown benchmark"},
 	}

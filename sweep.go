@@ -17,10 +17,12 @@ import (
 )
 
 // MaxSweepTiles caps the mesh axis: no sweep cell may model more than a
-// 64×64 chip. The pruned placement search coarsens its candidate lattice
-// (stride 4 at 4096 banks) and the reconfiguration pipeline runs its arena
-// hot path there, so kilo-tile cells complete in interactive time.
-const MaxSweepTiles = 4096
+// 128×128 chip. Up to 4096 tiles the flat placement pipeline runs (pruned
+// candidate lattice, arena hot path); above that, placement switches to the
+// hierarchical two-level path over the mesh's cluster view and the topology
+// itself goes lazy (no O(tiles²) precomputation), so even 16,384-tile cells
+// complete in interactive time.
+const MaxSweepTiles = 16384
 
 // MaxSweepCells caps a sweep's expanded grid so a mistyped axis cannot
 // request millions of simulations.

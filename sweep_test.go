@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -33,7 +34,7 @@ func TestSweepValidation(t *testing.T) {
 	for name, req := range map[string]SweepRequest{
 		"no mixes":       {},
 		"bad mesh":       {Mesh: []MeshSize{{0, 4}}, Mixes: []MixSpec{{Kind: MixCaseStudy}}},
-		"oversize mesh":  {Mesh: []MeshSize{{65, 65}}, Mixes: []MixSpec{{Kind: MixCaseStudy}}},
+		"oversize mesh":  {Mesh: []MeshSize{{129, 128}}, Mixes: []MixSpec{{Kind: MixCaseStudy}}},
 		"bad bank":       {BankKB: []int{0}, Mixes: []MixSpec{{Kind: MixCaseStudy}}},
 		"bad latency":    {HopLatency: []float64{-1}, Mixes: []MixSpec{{Kind: MixCaseStudy}}},
 		"bad mix":        {Mixes: []MixSpec{{Kind: "nope"}}},
@@ -256,6 +257,66 @@ func TestSweep64x64Cell(t *testing.T) {
 	ws := cell.Comparison.WeightedSpeedup["CDCS"]
 	if ws <= 0 {
 		t.Errorf("CDCS weighted speedup %g on the 64x64 cell", ws)
+	}
+}
+
+func TestSweep128x128Cell(t *testing.T) {
+	// The hierarchical frontier: a 128×128 (16,384-tile) cell runs over a
+	// lazy mesh with the two-level placement path, and must stay
+	// byte-identical to the standalone Compare path.
+	if testing.Short() {
+		t.Skip("128x128 sweep cell is slow")
+	}
+	req := SweepRequest{
+		Mesh:    []MeshSize{{128, 128}},
+		Mixes:   []MixSpec{{Kind: MixRandom, Seed: 13, N: 128}},
+		Schemes: []string{"S-NUCA", "CDCS"},
+		Seed:    5,
+	}
+	res, err := SweepWithOptions(req, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("%d cells, want 1", len(res.Cells))
+	}
+	cell := res.Cells[0]
+	if cell.Request.Config.MeshWidth != 128 || cell.Request.Config.MeshHeight != 128 {
+		t.Fatalf("cell is %dx%d, want 128x128", cell.Request.Config.MeshWidth, cell.Request.Config.MeshHeight)
+	}
+	standalone, err := cell.Request.Run(RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := json.Marshal(cell.Comparison)
+	want, _ := json.Marshal(standalone)
+	if string(got) != string(want) {
+		t.Error("128x128 cell diverged from standalone Compare")
+	}
+	ws := cell.Comparison.WeightedSpeedup["CDCS"]
+	if ws <= 0 {
+		t.Errorf("CDCS weighted speedup %g on the 128x128 cell", ws)
+	}
+}
+
+// TestSweepTileCapBoundary pins the mesh cap at exactly MaxSweepTiles: a
+// 128×128 mesh (16,384 tiles, = the cap) passes validation and a
+// 5×3277 mesh (16,385 tiles, one over) fails with a message carrying the
+// cap (derived from the constant, not hard-coded text).
+func TestSweepTileCapBoundary(t *testing.T) {
+	mixes := []MixSpec{{Kind: MixRandom, Seed: 1, N: 4}}
+	if _, err := (SweepRequest{Mesh: []MeshSize{{128, 128}}, Mixes: mixes}).Canonical(); err != nil {
+		t.Fatalf("128x128 (= MaxSweepTiles) rejected: %v", err)
+	}
+	if 5*3277 != MaxSweepTiles+1 {
+		t.Fatalf("boundary mesh is stale: 5*3277 != MaxSweepTiles+1 = %d", MaxSweepTiles+1)
+	}
+	_, err := (SweepRequest{Mesh: []MeshSize{{5, 3277}}, Mixes: mixes}).Canonical()
+	if err == nil {
+		t.Fatal("5x3277 (= MaxSweepTiles+1) accepted")
+	}
+	if want := fmt.Sprintf("%d tiles", MaxSweepTiles); !strings.Contains(err.Error(), want) {
+		t.Errorf("cap error %q does not carry the derived limit %q", err, want)
 	}
 }
 
