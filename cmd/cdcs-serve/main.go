@@ -17,6 +17,15 @@
 //	cdcs-serve -peers ... -fleet-probe-interval 500ms -fleet-breaker-threshold 5
 //	                                 # tune the probe period and how many
 //	                                 # consecutive failures sideline a peer
+//	cdcs-serve -peers ... -advertise http://10.0.0.1:8080
+//	                                 # dynamic membership: this replica is a
+//	                                 # first-class member; replicas join/leave
+//	                                 # at runtime via POST /v1/join, /v1/leave,
+//	                                 # /v1/drain, converging on one member list
+//	cdcs-serve -advertise auto -join http://10.0.0.1:8080
+//	                                 # join an existing fleet warm: adopt its
+//	                                 # member list, batch-fill the cache from
+//	                                 # the seed's corpus manifest, then announce
 //	cdcs-serve -pprof                # opt-in net/http/pprof at /debug/pprof/
 //
 //	curl -s localhost:8080/healthz
@@ -65,9 +74,11 @@ func run() int {
 		diskBytes = flag.Int64("cache-disk-bytes", server.DefaultCacheDiskBytes, "disk-tier size cap in bytes, LRU-evicted past it (requires -cache-dir; <0 = uncapped)")
 		compress  = flag.Bool("cache-compress", false, "store the disk tier chunked: content-defined chunks, SHA-256 dedup, DEFLATE compression (requires -cache-dir)")
 		peers     = flag.String("peers", "", "comma-separated sibling replica base URLs; local misses fetch entries from the fleet before simulating")
+		advertise = flag.String("advertise", "", "this replica's own base URL as peers reach it (\"auto\" = derive from the bound listen address); makes fleet membership dynamic: join/leave/drain endpoints active")
+		join      = flag.String("join", "", "seed peer base URL to join the fleet through at startup: adopt its member list, warm-fill the cache from its corpus manifest, then announce -advertise (requires -advertise)")
 
-		probeInterval    = flag.Duration("fleet-probe-interval", 0, "health-probe period over -peers (0 = default 2s, negative disables probing; requires -peers)")
-		breakerThreshold = flag.Int("fleet-breaker-threshold", 0, "consecutive failures that open a peer's circuit breaker (0 = default 3; requires -peers)")
+		probeInterval    = flag.Duration("fleet-probe-interval", 0, "health-probe period over the peer members (0 = default 2s, negative disables probing; requires -peers or -advertise)")
+		breakerThreshold = flag.Int("fleet-breaker-threshold", 0, "consecutive failures that open a peer's circuit breaker (0 = default 3; requires -peers or -advertise)")
 
 		queue   = flag.Int("queue", 256, "job queue depth (submissions beyond it get 503)")
 		workers = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS/2)")
@@ -112,7 +123,7 @@ func run() int {
 			return 2
 		}
 	}
-	if len(peerList) == 0 {
+	if len(peerList) == 0 && *advertise == "" {
 		var fleetFlags []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
@@ -125,9 +136,25 @@ func run() int {
 			if len(fleetFlags) > 1 {
 				verb = "require"
 			}
-			fmt.Fprintf(os.Stderr, "cdcs-serve: %s %s -peers\n", strings.Join(fleetFlags, ", "), verb)
+			fmt.Fprintf(os.Stderr, "cdcs-serve: %s %s -peers or -advertise\n", strings.Join(fleetFlags, ", "), verb)
 			return 2
 		}
+	}
+	if *join != "" && *advertise == "" {
+		fmt.Fprintln(os.Stderr, "cdcs-serve: -join requires -advertise")
+		return 2
+	}
+
+	// Listen before building the server: with -advertise auto the advertised
+	// URL is derived from the bound address (so ephemeral ports work), and a
+	// -join replica must be reachable the moment it announces itself.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdcs-serve: listen: %v\n", err)
+		return 1
+	}
+	if *advertise == "auto" {
+		*advertise = "http://" + ln.Addr().String()
 	}
 
 	jobTimeout := *timeout
@@ -140,6 +167,8 @@ func run() int {
 		CacheDiskBytes:        *diskBytes,
 		CacheCompress:         *compress,
 		Peers:                 peerList,
+		Advertise:             *advertise,
+		Join:                  *join,
 		FleetProbeInterval:    *probeInterval,
 		FleetBreakerThreshold: *breakerThreshold,
 		QueueDepth:            *queue,
@@ -149,6 +178,7 @@ func run() int {
 		Pprof:                 *pprof,
 	})
 	if err != nil {
+		_ = ln.Close()
 		fmt.Fprintf(os.Stderr, "cdcs-serve: %v\n", err)
 		return 1
 	}
@@ -164,11 +194,8 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "cdcs-serve: peer tier over %s (health-checked; see cdcs_fleet_* in /metrics)\n",
 			strings.Join(peerList, ", "))
 	}
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cdcs-serve: listen: %v\n", err)
-		return 1
+	if *advertise != "" {
+		fmt.Fprintf(os.Stderr, "cdcs-serve: dynamic membership as %s (POST /v1/join, /v1/leave, /v1/drain)\n", *advertise)
 	}
 	// The resolved address goes to stdout so scripts (e.g. the CI smoke job)
 	// can scrape the ephemeral port.
@@ -187,6 +214,22 @@ func run() int {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
+
+	// Warm join, now that the listener is accepting: adopt the seed's member
+	// list, batch-fill the cache from its corpus manifest, announce
+	// -advertise. A failed join exits — a replica that cannot complete the
+	// handshake must not linger half-joined.
+	if *join != "" {
+		jctx, jcancel := context.WithTimeout(ctx, 2*time.Minute)
+		st, jerr := srv.JoinFleet(jctx)
+		jcancel()
+		if jerr != nil {
+			fmt.Fprintf(os.Stderr, "cdcs-serve: %v\n", jerr)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "cdcs-serve: joined %d-member fleet via %s: warmed %d/%d manifest entries (%d already present, %d failed) in %s\n",
+			st.Members, st.Seed, st.Filled, st.Keys, st.Present, st.Failed, st.Elapsed.Round(time.Millisecond))
+	}
 
 	select {
 	case err := <-errCh:

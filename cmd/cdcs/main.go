@@ -17,6 +17,9 @@
 //	                           # sensitivity, hot-cell replication threshold
 //	cdcs -sweep-diff a.json b.json
 //	                           # align two saved SweepResults by cell hash
+//	cdcs -drain http://a:8080  # gracefully drain a replica: it finishes
+//	                           # in-flight work, leaves the fleet, and this
+//	                           # command waits until it reports drained
 //
 // A sweep file is a cdcs.SweepRequest: axes over the machine config (mesh
 // sizes up to 32x32, bank KB, latencies, channels) crossed with a list of
@@ -53,6 +56,7 @@ import (
 	"fmt"
 	"io"
 	"maps"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -81,6 +85,8 @@ func run() int {
 		sweepJSON = flag.Bool("sweep-json", false, "with -sweep or -sweep-diff, emit the full result as JSON instead of a table")
 		replicas  = flag.String("replicas", "", "with -sweep, comma-separated cdcs-serve base URLs to shard cells across")
 		sweepDiff = flag.Bool("sweep-diff", false, "diff two saved SweepResult files (two positional args), aligned by cell content hash")
+		drain     = flag.String("drain", "", "gracefully drain a cdcs-serve replica at this base URL: it finishes in-flight work, leaves the fleet, then this command returns")
+		drainWait = flag.Duration("drain-timeout", 2*time.Minute, "with -drain, how long to wait for the replica to report drained")
 
 		probeInterval    = flag.Duration("fleet-probe-interval", 0, "with -replicas, health-probe period over the replicas (0 = default 2s, negative disables probing)")
 		breakerThreshold = flag.Int("fleet-breaker-threshold", 0, "with -replicas, consecutive failures that open a replica's circuit breaker (0 = default 3)")
@@ -109,6 +115,22 @@ func run() int {
 	if *sweepDiff && (*all || *id != "" || *list) {
 		fmt.Fprintln(os.Stderr, "cdcs: -sweep-diff is mutually exclusive with -exp, -all and -list")
 		return 2
+	}
+	if *drain != "" && (*all || *id != "" || *list || *sweep != "" || *sweepDiff) {
+		fmt.Fprintln(os.Stderr, "cdcs: -drain is mutually exclusive with -exp, -all, -list, -sweep and -sweep-diff")
+		return 2
+	}
+	if *drain == "" {
+		set := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "drain-timeout" {
+				set = true
+			}
+		})
+		if set {
+			fmt.Fprintln(os.Stderr, "cdcs: -drain-timeout requires -drain")
+			return 2
+		}
 	}
 	if *replicas != "" && *sweep == "" {
 		fmt.Fprintln(os.Stderr, "cdcs: -replicas requires -sweep")
@@ -216,6 +238,12 @@ func run() int {
 	}
 
 	switch {
+	case *drain != "":
+		if err := runDrain(ctx, *drain, *drainWait); err != nil {
+			fmt.Fprintf(os.Stderr, "cdcs: drain: %v\n", err)
+			return 1
+		}
+		return 0
 	case *sweepDiff:
 		if err := runSweepDiff(out, flag.Arg(0), flag.Arg(1), *sweepJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "cdcs: sweep-diff: %v\n", err)
@@ -267,6 +295,64 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "cdcs: use -exp <id>, -all, -list or -sweep <grid.json>")
 		flag.PrintDefaults()
 		return 2
+	}
+}
+
+// runDrain asks the replica at base to drain (POST /v1/drain: finish
+// in-flight work, refuse new work with a retryable status, leave the fleet
+// once idle) and polls its /healthz until it reports status "drained" or the
+// timeout expires. Draining is idempotent, so re-running the command against
+// an already-draining replica just resumes the wait.
+func runDrain(ctx context.Context, base string, timeout time.Duration) error {
+	base = strings.TrimRight(strings.TrimSpace(base), "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/drain", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s/v1/drain: %s: %s", base, resp.Status, strings.TrimSpace(string(body)))
+	}
+	fmt.Fprintf(os.Stderr, "drain: %s draining, waiting for in-flight work\n", base)
+
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("%s did not report drained within %s: %w", base, timeout, ctx.Err())
+		case <-ticker.C:
+		}
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		hresp, err := client.Do(hreq)
+		if err != nil {
+			// A replica that shut down entirely after draining counts as
+			// gone; transient errors retry until the deadline.
+			continue
+		}
+		hbody, _ := io.ReadAll(io.LimitReader(hresp.Body, 1<<20))
+		hresp.Body.Close()
+		var status struct {
+			Status string `json:"status"`
+		}
+		// A draining replica answers 503; the status comes from the body
+		// regardless of the code.
+		if json.Unmarshal(hbody, &status) == nil && status.Status == "drained" {
+			fmt.Fprintf(os.Stderr, "drain: %s drained and left the fleet\n", base)
+			return nil
+		}
 	}
 }
 

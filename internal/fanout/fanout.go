@@ -106,6 +106,16 @@ type Options struct {
 	// configured) so later requests for the cell have a second warm home.
 	// 0 disables replication.
 	HotLatency time.Duration
+	// Members, when non-nil, makes the replica set live: it is consulted
+	// when each cell is *dispatched*, so a membership change mid-fan-out
+	// re-routes only the cells not yet started — in-flight cells complete
+	// on the route they were dispatched with. Rebalancing is incremental
+	// by construction: rendezvous ranking moves a key only when the set of
+	// its top holders changes (see MovedKeys), so a join or leave touches
+	// the joiner's/leaver's share of the keyspace and nothing else. An
+	// empty snapshot is ignored (the initial replica list is used) so a
+	// transient membership hiccup cannot strand cells with no candidates.
+	Members func() []string
 }
 
 // deadSet caches per-fan-out death verdicts: once a replica fails a request
@@ -163,6 +173,18 @@ func Do(ctx context.Context, replicas []string, cells []Cell, opts Options) ([]R
 		workers = 1
 	}
 
+	// members resolves the replica set a cell is ranked over at dispatch
+	// time: the static list, or the live view when Options.Members is set.
+	members := func() []string { return reps }
+	if opts.Members != nil {
+		members = func() []string {
+			if m := NormalizeReplicas(opts.Members()); len(m) > 0 {
+				return m
+			}
+			return reps
+		}
+	}
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -216,7 +238,7 @@ func Do(ctx context.Context, replicas []string, cells []Cell, opts Options) ([]R
 			defer wg.Done()
 			for i := range next {
 				cell := cells[i]
-				ranked := Rank(reps, cell.Key)
+				ranked := Rank(members(), cell.Key)
 				route := ranked
 				if opts.Fleet != nil {
 					route = opts.Fleet.Order(ranked)
@@ -439,4 +461,54 @@ func Rank(replicas []string, key string) []string {
 		out = append(out, s.replica)
 	}
 	return out
+}
+
+// TopK returns the first k replicas of a key's rendezvous ranking — the
+// key's holder set under top-K routing (k is clamped to the replica count).
+func TopK(replicas []string, key string, k int) []string {
+	ranked := Rank(replicas, key)
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return ranked[:k]
+}
+
+// MovedKeys returns the keys whose top-k holder *set* differs between two
+// replica lists — the cells a membership change actually re-routes. This is
+// the incremental-rebalance contract of rendezvous hashing: adding a
+// replica moves exactly the keys whose new top-k includes it (each key
+// independently with probability k/(n+1) going from n to n+1 replicas), and
+// removing one moves exactly the keys whose old top-k contained it — every
+// other key keeps its holders, because the relative scores of surviving
+// replicas never change.
+func MovedKeys(oldReplicas, newReplicas []string, keys []string, k int) []string {
+	oldReps := NormalizeReplicas(oldReplicas)
+	newReps := NormalizeReplicas(newReplicas)
+	var moved []string
+	for _, key := range keys {
+		if !sameHolders(TopK(oldReps, key, k), TopK(newReps, key, k)) {
+			moved = append(moved, key)
+		}
+	}
+	return moved
+}
+
+// sameHolders compares two holder slices as sets.
+func sameHolders(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	in := make(map[string]bool, len(a))
+	for _, r := range a {
+		in[r] = true
+	}
+	for _, r := range b {
+		if !in[r] {
+			return false
+		}
+	}
+	return true
 }

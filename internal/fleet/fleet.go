@@ -5,6 +5,16 @@
 // failures → half-open trial after a cooldown → closed on success), so
 // replicas leave and rejoin the serving set live, without operator action.
 //
+// The member set itself is mutable at runtime (SetMembers), and a fleet can
+// follow the cluster's own membership protocol: replica /healthz responses
+// carry an identity token, a membership epoch and the member list, and a
+// fleet built with Options.AdoptMembers applies those snapshots to its view
+// (via the epoch rules of Membership), so a coordinator discovers joins and
+// drains mid-sweep without any out-of-band configuration. The identity
+// token also distinguishes a *restarted* replica on a reused address from a
+// revived one: a changed token resets the record (breaker, failure streak,
+// latency EWMA), because the new process shares nothing but the address.
+//
 // Consumers — the sweep fan-out client (internal/fanout) and the result
 // store's peer tier (internal/resultstore) — ask the view two questions:
 // "is this replica usable right now?" (Healthy) and "in what order should
@@ -21,11 +31,11 @@ package fleet
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 )
@@ -83,6 +93,16 @@ type Options struct {
 	TopK int
 	// Client issues the probes (default: a client with ProbeTimeout).
 	Client *http.Client
+	// AdoptMembers makes the member set dynamic: membership snapshots
+	// carried in probed healthz responses are applied (under Membership's
+	// epoch rules) and the fleet re-targets its probes and routing to the
+	// adopted list. Without it the member set given to New is fixed unless
+	// the caller drives SetMembers itself.
+	AdoptMembers bool
+	// OnMembership, if set, is invoked after every member-set change (from
+	// SetMembers or an adopted snapshot) with the new list and epoch.
+	// Called outside fleet locks; must be safe for concurrent use.
+	OnMembership func(members []string, epoch uint64)
 }
 
 func (o Options) withDefaults() Options {
@@ -120,29 +140,45 @@ const rpsBuckets = 8
 type replica struct {
 	url string
 
-	mu          sync.Mutex
-	state       State
-	consecFails int
-	openedAt    time.Time // when the breaker last opened
-	ewmaMs      float64   // EWMA of successful request service latency
-	inflight    int
-	requests    int64 // completed requests (not probes)
-	errors      int64 // failed requests (not probes)
-	trips       int64 // closed → open transitions
-	buckets     [rpsBuckets]int64
-	lastSec     int64
+	mu           sync.Mutex
+	id           string // instance identity token from healthz ("" until seen)
+	incarnations int64  // identity-token changes observed (restarts detected)
+	state        State
+	consecFails  int
+	openedAt     time.Time // when the breaker last opened
+	ewmaMs       float64   // EWMA of successful request service latency
+	inflight     int
+	requests     int64 // completed requests (not probes)
+	errors       int64 // failed requests (not probes)
+	trips        int64 // closed → open transitions
+	buckets      [rpsBuckets]int64
+	lastSec      int64
+}
+
+// healthzInfo is the identity and membership payload replicas embed in
+// /healthz responses (internal/server emits it; extra fields are ignored).
+type healthzInfo struct {
+	Status  string   `json:"status"`
+	ID      string   `json:"id"`
+	Epoch   uint64   `json:"epoch"`
+	Members []string `json:"members"`
 }
 
 // Fleet is the live view. Create with New, start the prober with Start,
 // release with Close. All methods are safe for concurrent use.
 type Fleet struct {
 	opts Options
+
+	mu   sync.RWMutex // guards urls and reps (the member set)
 	urls []string
 	reps map[string]*replica
 
+	mem *Membership // non-nil with AdoptMembers: the followed registry
+
+	ctx       context.Context
+	cancel    context.CancelFunc
 	startOnce sync.Once
 	stopOnce  sync.Once
-	stop      chan struct{}
 	wg        sync.WaitGroup
 }
 
@@ -153,27 +189,61 @@ func New(replicas []string, opts Options) *Fleet {
 	f := &Fleet{
 		opts: opts.withDefaults(),
 		reps: map[string]*replica{},
-		stop: make(chan struct{}),
 	}
+	f.ctx, f.cancel = context.WithCancel(context.Background())
 	if f.opts.Client == nil {
 		f.opts.Client = &http.Client{Timeout: f.opts.ProbeTimeout}
 	}
-	for _, r := range replicas {
-		r = strings.TrimRight(strings.TrimSpace(r), "/")
-		if r == "" {
-			continue
-		}
-		if _, ok := f.reps[r]; ok {
-			continue
-		}
-		f.reps[r] = &replica{url: r}
-		f.urls = append(f.urls, r)
+	f.setMembersLocked(normalizeMembers(replicas))
+	if f.opts.AdoptMembers {
+		f.mem = NewMembership(replicas)
+		f.mem.OnChange(func(members []string, epoch uint64) {
+			f.SetMembers(members)
+			if f.opts.OnMembership != nil {
+				f.opts.OnMembership(members, epoch)
+			}
+		})
 	}
 	return f
 }
 
-// Replicas returns the normalized member URLs in listing order.
-func (f *Fleet) Replicas() []string { return f.urls }
+// Replicas returns the current normalized member URLs.
+func (f *Fleet) Replicas() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return append([]string(nil), f.urls...)
+}
+
+// Membership returns the registry this fleet follows (nil unless built with
+// AdoptMembers). Callers may Apply snapshots they obtain out of band — e.g.
+// the body of a join announcement — and the fleet view follows.
+func (f *Fleet) Membership() *Membership { return f.mem }
+
+// SetMembers replaces the member set. Records of retained members (breaker
+// state, latency, counters) survive; new members start fresh; removed
+// members are dropped — their in-flight completion callbacks still run but
+// update records no longer in the view. With AdoptMembers the set normally
+// arrives via snapshots instead; calling SetMembers directly then only
+// changes the view until the next snapshot.
+func (f *Fleet) SetMembers(urls []string) {
+	next := normalizeMembers(urls)
+	f.mu.Lock()
+	f.setMembersLocked(next)
+	f.mu.Unlock()
+}
+
+func (f *Fleet) setMembersLocked(next []string) {
+	reps := make(map[string]*replica, len(next))
+	for _, u := range next {
+		if r, ok := f.reps[u]; ok {
+			reps[u] = r
+		} else {
+			reps[u] = &replica{url: u}
+		}
+	}
+	f.urls = next
+	f.reps = reps
+}
 
 // Start launches the background health prober (a no-op when probing is
 // disabled). Safe to call more than once.
@@ -187,10 +257,11 @@ func (f *Fleet) Start() {
 	})
 }
 
-// Close stops the prober and waits for in-flight probes. Safe to call more
-// than once, and without Start.
+// Close stops the prober and waits for in-flight probes. Probes are bound
+// to the fleet's context, so a probe blocked mid-dial is cancelled rather
+// than awaited. Safe to call more than once, and without Start.
 func (f *Fleet) Close() {
-	f.stopOnce.Do(func() { close(f.stop) })
+	f.stopOnce.Do(f.cancel)
 	f.wg.Wait()
 }
 
@@ -202,17 +273,23 @@ func (f *Fleet) probeLoop() {
 	defer t.Stop()
 	for {
 		select {
-		case <-f.stop:
+		case <-f.ctx.Done():
 			return
 		case <-t.C:
 		}
-		var wg sync.WaitGroup
+		f.mu.RLock()
+		targets := make([]*replica, 0, len(f.urls))
 		for _, url := range f.urls {
+			targets = append(targets, f.reps[url])
+		}
+		f.mu.RUnlock()
+		var wg sync.WaitGroup
+		for _, r := range targets {
 			wg.Add(1)
 			go func(r *replica) {
 				defer wg.Done()
 				f.probeOne(r)
-			}(f.reps[url])
+			}(r)
 		}
 		wg.Wait()
 	}
@@ -220,27 +297,60 @@ func (f *Fleet) probeLoop() {
 
 // probeOne issues one liveness probe and feeds its verdict into the breaker.
 // Probes drive membership only: they never touch the latency EWMA or the
-// request counters, so an idle fleet's metrics stay request-shaped.
+// request counters, so an idle fleet's metrics stay request-shaped. The
+// probe context descends from the fleet's, so Close aborts a blocked dial.
+//
+// Any parseable response body — healthy or not — may carry the replica's
+// identity and a membership snapshot; a draining replica answers 503 but
+// still propagates the member list it is leaving.
 func (f *Fleet) probeOne(r *replica) {
-	ctx, cancel := context.WithTimeout(context.Background(), f.opts.ProbeTimeout)
+	ctx, cancel := context.WithTimeout(f.ctx, f.opts.ProbeTimeout)
 	defer cancel()
 	ok := false
+	var info healthzInfo
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url+f.opts.ProbePath, nil)
 	if err == nil {
 		resp, rerr := f.opts.Client.Do(req)
 		if rerr == nil {
-			_, _ = io.Copy(io.Discard, resp.Body)
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 			resp.Body.Close()
 			ok = resp.StatusCode == http.StatusOK
+			_ = json.Unmarshal(body, &info)
 		}
 	}
 	r.mu.Lock()
+	if info.ID != "" {
+		r.observeIdentityLocked(info.ID)
+	}
 	if ok {
 		r.successLocked()
 	} else {
 		r.failureLocked(f.opts.BreakerThreshold, time.Now())
 	}
 	r.mu.Unlock()
+	if f.mem != nil && len(info.Members) > 0 {
+		f.mem.Apply(info.Members, info.Epoch)
+	}
+}
+
+// observeIdentityLocked records the instance identity a response carried.
+// A changed token means a different process answered on a reused address —
+// a restart, not a revival — so everything learned about the old instance
+// (breaker verdict, failure streak, latency EWMA) is discarded: the new
+// instance starts with a clean record and, crucially, an empty cache, so a
+// stale "dead" or "slow" verdict must not suppress or distort traffic to it.
+func (r *replica) observeIdentityLocked(id string) {
+	if r.id == id {
+		return
+	}
+	if r.id != "" {
+		r.incarnations++
+		r.state = StateClosed
+		r.consecFails = 0
+		r.openedAt = time.Time{}
+		r.ewmaMs = 0
+	}
+	r.id = id
 }
 
 // successLocked resets the failure streak and closes the breaker: a replica
@@ -287,11 +397,18 @@ func (r *replica) usableLocked(cooldown time.Duration, now time.Time) bool {
 	}
 }
 
+// rep looks up a member record under the member-set lock.
+func (f *Fleet) rep(url string) *replica {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.reps[url]
+}
+
 // Healthy reports whether url may receive traffic: breaker closed, or
 // half-open (including an open breaker whose cooldown just elapsed).
 // Unknown URLs are healthy — the view only vets its own members.
 func (f *Fleet) Healthy(url string) bool {
-	r := f.reps[url]
+	r := f.rep(url)
 	if r == nil {
 		return true
 	}
@@ -306,7 +423,7 @@ func (f *Fleet) Healthy(url string) bool {
 // view updates in-flight, latency EWMA, RPS, error counters and the
 // breaker. Unknown URLs return a no-op callback.
 func (f *Fleet) Begin(url string) func(err error) {
-	r := f.reps[url]
+	r := f.rep(url)
 	if r == nil {
 		return func(error) {}
 	}
@@ -373,7 +490,7 @@ func (f *Fleet) Order(ranked []string) []string {
 	cands := make([]cand, len(ranked))
 	for i, url := range ranked {
 		c := cand{url: url, pos: i, healthy: true}
-		if r := f.reps[url]; r != nil {
+		if r := f.rep(url); r != nil {
 			r.mu.Lock()
 			c.healthy = r.usableLocked(f.opts.BreakerCooldown, now)
 			c.inflight = r.inflight
@@ -442,6 +559,9 @@ func (f *Fleet) Alternate(ranked []string, exclude string) string {
 // ReplicaStats is one member's snapshot.
 type ReplicaStats struct {
 	URL string `json:"url"`
+	// ID is the replica's instance identity token, as last seen in a
+	// healthz response ("" until one is observed).
+	ID string `json:"id,omitempty"`
 	// State is the breaker state: "closed", "open" or "half-open".
 	State string `json:"state"`
 	// EWMALatencyMs is the smoothed service latency of successful requests,
@@ -457,6 +577,9 @@ type ReplicaStats struct {
 	Errors   int64 `json:"errors"`
 	// Trips counts closed → open breaker transitions.
 	Trips int64 `json:"breaker_trips"`
+	// Incarnations counts identity-token changes: how many times a new
+	// process was detected answering on this address.
+	Incarnations int64 `json:"incarnations,omitempty"`
 }
 
 // StateCode maps a ReplicaStats.State string to its numeric gauge value
@@ -475,9 +598,14 @@ func StateCode(state string) int {
 // Snapshot returns per-replica stats in listing order.
 func (f *Fleet) Snapshot() []ReplicaStats {
 	now := time.Now()
-	out := make([]ReplicaStats, 0, len(f.urls))
+	f.mu.RLock()
+	targets := make([]*replica, 0, len(f.urls))
 	for _, url := range f.urls {
-		r := f.reps[url]
+		targets = append(targets, f.reps[url])
+	}
+	f.mu.RUnlock()
+	out := make([]ReplicaStats, 0, len(targets))
+	for _, r := range targets {
 		r.mu.Lock()
 		r.tickRPSOnlyLocked(now.Unix())
 		var n int64
@@ -486,6 +614,7 @@ func (f *Fleet) Snapshot() []ReplicaStats {
 		}
 		out = append(out, ReplicaStats{
 			URL:           r.url,
+			ID:            r.id,
 			State:         r.state.String(),
 			EWMALatencyMs: r.ewmaMs,
 			Inflight:      r.inflight,
@@ -493,6 +622,7 @@ func (f *Fleet) Snapshot() []ReplicaStats {
 			Requests:      r.requests,
 			Errors:        r.errors,
 			Trips:         r.trips,
+			Incarnations:  r.incarnations,
 		})
 		r.mu.Unlock()
 	}
@@ -516,11 +646,8 @@ func (r *replica) tickRPSOnlyLocked(sec int64) {
 // Trips sums breaker trips across the fleet.
 func (f *Fleet) Trips() int64 {
 	var n int64
-	for _, url := range f.urls {
-		r := f.reps[url]
-		r.mu.Lock()
-		n += r.trips
-		r.mu.Unlock()
+	for _, r := range f.Snapshot() {
+		n += r.Trips
 	}
 	return n
 }

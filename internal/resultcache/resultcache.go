@@ -223,6 +223,23 @@ func (c *Cache) Put(key string, val []byte) {
 	}
 }
 
+// Keys returns the cached keys, in no particular order. Shards are locked
+// one at a time, so the snapshot is only per-shard consistent — fine for
+// its use (corpus manifest export), where a key that races in or out is a
+// key the fetcher tolerates missing anyway.
+func (c *Cache) Keys() []string {
+	out := make([]string, 0, c.Len())
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			out = append(out, el.Value.(*entry).key)
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
 	n := 0

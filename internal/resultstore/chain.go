@@ -162,6 +162,47 @@ func (c *TierChain) GetLocal(key string) ([]byte, bool) {
 	return nil, false
 }
 
+// LocalKeys returns the union of content addresses held by this process's
+// own tiers (remote tiers hold nothing and are skipped; tiers that cannot
+// enumerate contribute nothing): the corpus manifest GET /v1/manifest serves
+// and a joining replica warm-fills from. The snapshot is best-effort — keys
+// racing in or out during enumeration may or may not appear, which the
+// fetcher tolerates (a missing blob is a per-key miss, not a failure).
+func (c *TierChain) LocalKeys() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, t := range c.tiers {
+		if _, remote := t.(remoteTier); remote {
+			continue
+		}
+		kl, ok := t.(keyLister)
+		if !ok {
+			continue
+		}
+		for _, k := range kl.Keys() {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// Put stores key's bytes in every local tier, bypassing the flight: the
+// warm-join fill path, where values arrive already computed (and already
+// integrity-verified by DecodeBlob) from a seed peer. Remote tiers are
+// skipped — their Put is a no-op anyway, and a fill must never echo back
+// into the fleet.
+func (c *TierChain) Put(key string, val []byte) {
+	for _, t := range c.tiers {
+		if _, remote := t.(remoteTier); remote {
+			continue
+		}
+		t.Put(key, val)
+	}
+}
+
 // Stats implements Store: tier snapshots fastest first, plus the chain-head
 // flight counters.
 func (c *TierChain) Stats() Stats {

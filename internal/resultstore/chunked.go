@@ -513,6 +513,18 @@ func (d *ChunkedDisk) evictOverCapLocked() {
 	}
 }
 
+// Keys returns the fetchable addresses of the indexed entries, for manifest
+// export (see Disk.Keys — manifest names double as addresses the same way).
+func (d *ChunkedDisk) Keys() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.idx))
+	for name := range d.idx {
+		out = append(out, strings.TrimSuffix(name, manifestSuffix))
+	}
+	return out
+}
+
 // Len returns the number of indexed entries.
 func (d *ChunkedDisk) Len() int {
 	d.mu.Lock()

@@ -322,6 +322,21 @@ func (d *Disk) evictOverCapLocked() {
 	}
 }
 
+// Keys returns the fetchable addresses of the indexed entries, for manifest
+// export. File names double as addresses: serving-layer keys (lowercase hex
+// digests) map through safeName unchanged, and a rehashed name is itself a
+// valid address for the same file (safeName is idempotent), so every
+// returned key resolves through Get/GetLocal to the entry it names.
+func (d *Disk) Keys() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.idx))
+	for name := range d.idx {
+		out = append(out, strings.TrimSuffix(name, entrySuffix))
+	}
+	return out
+}
+
 // Len returns the number of indexed entries.
 func (d *Disk) Len() int {
 	d.mu.Lock()

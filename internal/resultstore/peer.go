@@ -43,6 +43,8 @@ type PeerTier struct {
 	client      *http.Client
 	maxAttempts int
 	fleet       *fleet.Fleet
+	membership  *fleet.Membership // non-nil: live peer list (members − self)
+	self        string            // this replica's own advertised URL
 
 	flightMu sync.Mutex
 	flight   map[string]*peerFlight
@@ -88,6 +90,32 @@ func NewPeerTier(peers []string, client *http.Client, maxAttempts int) *PeerTier
 // outcomes feed the view's instrumentation. Call before serving traffic.
 func (p *PeerTier) UseFleet(f *fleet.Fleet) { p.fleet = f }
 
+// UseMembership makes the peer list live: lookups walk the registry's
+// current members (minus this replica's own advertised URL, self) instead
+// of the static list given to NewPeerTier, so peers that join or drain are
+// picked up without reconstruction. Call before serving traffic.
+func (p *PeerTier) UseMembership(m *fleet.Membership, self string) {
+	p.membership = m
+	if n := fanout.NormalizeReplicas([]string{self}); len(n) == 1 {
+		p.self = n[0]
+	}
+}
+
+// peerList resolves the peers a lookup may consult right now.
+func (p *PeerTier) peerList() []string {
+	if p.membership == nil {
+		return p.peers
+	}
+	members := p.membership.Members()
+	out := members[:0]
+	for _, m := range members {
+		if m != p.self {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
 // Name implements Tier.
 func (p *PeerTier) Name() string { return "peer" }
 
@@ -117,7 +145,7 @@ func (p *PeerTier) Peek(key string) ([]byte, bool) {
 // fetch coalesces concurrent lookups of one key onto a single network walk
 // (fetchLocked does the walking).
 func (p *PeerTier) fetch(key string) ([]byte, bool) {
-	if len(p.peers) == 0 {
+	if len(p.peerList()) == 0 {
 		return nil, false
 	}
 	p.flightMu.Lock()
@@ -145,7 +173,7 @@ func (p *PeerTier) fetch(key string) ([]byte, bool) {
 // tried, and running out of holders is a miss. Breaker-open peers are
 // skipped without a request when a fleet view is attached.
 func (p *PeerTier) walk(key string) ([]byte, bool) {
-	ranked := fanout.Rank(p.peers, key)
+	ranked := fanout.Rank(p.peerList(), key)
 	attempts := 0
 	for _, peer := range ranked {
 		if attempts >= p.maxAttempts {

@@ -74,6 +74,13 @@ type remoteTier interface {
 	TierRemote()
 }
 
+// keyLister is implemented by tiers that can enumerate the content
+// addresses they hold. TierChain.LocalKeys unions them into the corpus
+// manifest a joining replica warm-fills from.
+type keyLister interface {
+	Keys() []string
+}
+
 // TierStats are one tier's counters. Bytes includes per-entry overhead
 // (the key for the memory tier, the entry-file framing for the disk tier)
 // so tiers report comparable occupancy numbers.

@@ -27,6 +27,9 @@ func (m *MemTier) Peek(key string) ([]byte, bool) { return m.c.Peek(key) }
 // Put implements Tier.
 func (m *MemTier) Put(key string, val []byte) { m.c.Put(key, val) }
 
+// Keys returns the cached content addresses, for manifest export.
+func (m *MemTier) Keys() []string { return m.c.Keys() }
+
 // Stats implements Tier.
 func (m *MemTier) Stats() TierStats {
 	st := m.c.Stats()

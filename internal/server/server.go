@@ -80,14 +80,34 @@ type Options struct {
 	// dead peers are skipped without a dial and rejoin automatically when
 	// their probes recover. Per-peer state is exported as cdcs_fleet_*
 	// metrics.
+	//
+	// Peers is the *initial* member list. With Advertise set the list is
+	// live: replicas joining via POST /v1/join (and leaving via /v1/leave
+	// or a drain) change it at runtime, and the peer tier, fleet view and
+	// /metrics follow.
 	Peers []string
-	// FleetProbeInterval is the period of the health probes over Peers
-	// (default 2s; negative disables probing, leaving fetch outcomes alone
-	// to drive the breakers). Requires Peers.
+	// Advertise is this replica's own base URL as its peers reach it
+	// (e.g. "http://10.0.0.3:8080"). Setting it makes the replica a
+	// first-class fleet member: it is included in the membership registry
+	// it shares with its peers, processes join/leave announcements,
+	// serves the corpus manifest warm joiners fill from, and can drain
+	// out gracefully. Conflicts with Store (dynamic membership needs the
+	// default tier chain for manifest export and warm fill).
+	Advertise string
+	// Join is a seed peer base URL to join the fleet through at startup:
+	// JoinFleet adopts the seed's member list, warm-fills the local store
+	// from the seed's corpus manifest, then announces Advertise to the
+	// fleet. Requires Advertise. New does not join by itself — call
+	// JoinFleet once the listener is serving, so peers that learn of this
+	// replica can immediately reach it.
+	Join string
+	// FleetProbeInterval is the period of the health probes over the
+	// peer members (default 2s; negative disables probing, leaving fetch
+	// outcomes alone to drive the breakers). Requires Peers or Advertise.
 	FleetProbeInterval time.Duration
 	// FleetBreakerThreshold is the number of consecutive failures (probes
 	// or fetches) that opens a peer's circuit breaker (default 3).
-	// Requires Peers.
+	// Requires Peers or Advertise.
 	FleetBreakerThreshold int
 	// QueueDepth bounds the job queue; submissions beyond it get 503
 	// (default 256).
@@ -141,10 +161,28 @@ func (o Options) withDefaults() Options {
 type Server struct {
 	opts        Options
 	cache       resultstore.Store
-	fleet       *fleet.Fleet // health view over Peers; nil without peers
+	fleet       *fleet.Fleet      // health view over peer members; nil without any
+	membership  *fleet.Membership // live member registry; nil without Peers/Advertise
+	id          string            // instance identity token, fresh per process
+	advertise   string            // normalized Options.Advertise ("" when unset)
 	jobs        *manager
 	simulations atomic.Int64 // actual sim.Engine fan-outs (full store misses)
+	draining    atomic.Int32 // 0 serving, 1 draining, 2 drained
+	drains      atomic.Int64 // drain requests accepted
 	started     time.Time
+
+	// gossipPrev is the member list as of the last gossip round, so a
+	// membership change also notifies members it *removed* (a kicked or
+	// drained replica must learn it is out, or its stale view lingers).
+	gossipMu   sync.Mutex
+	gossipPrev []string
+
+	// ctx scopes the background goroutines — gossip propagation and the
+	// drain loop; Close cancels it and waits on wg.
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	client *http.Client // gossip, manifest and warm-fill requests
 }
 
 // New builds a ready-to-serve Server and starts its worker pool. The
@@ -154,8 +192,8 @@ type Server struct {
 func New(opts Options) (*Server, error) {
 	if opts.Store != nil {
 		if opts.CacheEntries != 0 || opts.CacheDir != "" || opts.CacheDiskBytes != 0 ||
-			opts.CacheCompress || len(opts.Peers) > 0 {
-			return nil, fmt.Errorf("server: Options.Store conflicts with CacheEntries/CacheDir/CacheDiskBytes/CacheCompress/Peers — configure tiers on the injected store instead")
+			opts.CacheCompress || len(opts.Peers) > 0 || opts.Advertise != "" || opts.Join != "" {
+			return nil, fmt.Errorf("server: Options.Store conflicts with CacheEntries/CacheDir/CacheDiskBytes/CacheCompress/Peers/Advertise/Join — configure tiers on the injected store instead")
 		}
 	}
 	if opts.CacheDir == "" {
@@ -166,15 +204,31 @@ func New(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("server: CacheDiskBytes requires CacheDir")
 		}
 	}
-	if len(opts.Peers) == 0 {
+	if opts.Join != "" && opts.Advertise == "" {
+		return nil, fmt.Errorf("server: Join requires Advertise (the fleet needs a URL to reach this replica back)")
+	}
+	if len(opts.Peers) == 0 && opts.Advertise == "" {
 		if opts.FleetProbeInterval != 0 {
-			return nil, fmt.Errorf("server: FleetProbeInterval requires Peers")
+			return nil, fmt.Errorf("server: FleetProbeInterval requires Peers or Advertise")
 		}
 		if opts.FleetBreakerThreshold != 0 {
-			return nil, fmt.Errorf("server: FleetBreakerThreshold requires Peers")
+			return nil, fmt.Errorf("server: FleetBreakerThreshold requires Peers or Advertise")
 		}
 	}
 	opts = opts.withDefaults()
+	advertise := normalizeURL(opts.Advertise)
+	var membership *fleet.Membership
+	if advertise != "" || len(opts.Peers) > 0 {
+		// A replica that will join through a seed (Options.Join) starts
+		// *outside* its own member list: its URL enters the fleet only via
+		// the announce at the end of JoinFleet, so an aborted join leaves
+		// every view — including this replica's own — without it.
+		initial := append([]string(nil), opts.Peers...)
+		if opts.Join == "" {
+			initial = append(initial, advertise)
+		}
+		membership = fleet.NewMembership(initial)
+	}
 	store := opts.Store
 	var fl *fleet.Fleet
 	if store == nil {
@@ -194,9 +248,10 @@ func New(opts Options) (*Server, error) {
 			}
 			tiers = append(tiers, disk)
 		}
-		if len(opts.Peers) > 0 {
+		if membership != nil {
 			peer := resultstore.NewPeerTier(opts.Peers, nil, 0)
-			fl = fleet.New(peer.Peers(), fleet.Options{
+			peer.UseMembership(membership, advertise)
+			fl = fleet.New(without(membership.Members(), advertise), fleet.Options{
 				ProbeInterval:    opts.FleetProbeInterval,
 				BreakerThreshold: opts.FleetBreakerThreshold,
 			})
@@ -206,11 +261,28 @@ func New(opts Options) (*Server, error) {
 		store = resultstore.Chain(tiers...)
 	}
 	s := &Server{
-		opts:    opts,
-		cache:   store,
-		fleet:   fl,
-		jobs:    newManager(opts.Workers, opts.QueueDepth, opts.JobTimeout),
-		started: time.Now().UTC(),
+		opts:       opts,
+		cache:      store,
+		fleet:      fl,
+		membership: membership,
+		id:         newInstanceID(),
+		advertise:  advertise,
+		jobs:       newManager(opts.Workers, opts.QueueDepth, opts.JobTimeout),
+		started:    time.Now().UTC(),
+		client:     &http.Client{Timeout: 10 * time.Second},
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	if membership != nil {
+		s.gossipPrev = membership.Members()
+		// Every membership change re-targets the fleet view (this replica
+		// never probes or routes to itself) and gossips the new snapshot to
+		// the other members so the fleet converges without a coordinator.
+		membership.OnChange(func(members []string, epoch uint64) {
+			if s.fleet != nil {
+				s.fleet.SetMembers(without(members, s.advertise))
+			}
+			s.propagate(members, epoch)
+		})
 	}
 	if fl != nil {
 		fl.Start()
@@ -219,13 +291,33 @@ func New(opts Options) (*Server, error) {
 	return s, nil
 }
 
-// Close stops the worker pool (canceling running jobs) and the fleet
-// prober.
+// without returns urls minus self (pass "" to copy).
+func without(urls []string, self string) []string {
+	out := make([]string, 0, len(urls))
+	for _, u := range urls {
+		if u != self {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// normalizeURL trims a base URL the way fanout.NormalizeReplicas does, so
+// the serving layer names replicas with the same strings the routing layers
+// rank.
+func normalizeURL(u string) string {
+	return strings.TrimRight(strings.TrimSpace(u), "/")
+}
+
+// Close stops the background goroutines (gossip, drain loop), the worker
+// pool (canceling running jobs) and the fleet prober.
 func (s *Server) Close() {
+	s.cancel()
 	s.jobs.close()
 	if s.fleet != nil {
 		s.fleet.Close()
 	}
+	s.wg.Wait()
 }
 
 // Stats is a point-in-time snapshot of the serving counters. Fleet is
@@ -287,6 +379,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/blob/{hash}", s.handleBlob)
+	mux.HandleFunc("POST /v1/drain", s.handleDrain)
+	if s.membership != nil {
+		mux.HandleFunc("POST /v1/join", s.handleJoin)
+		mux.HandleFunc("POST /v1/leave", s.handleLeave)
+		mux.HandleFunc("GET /v1/members", s.handleMembers)
+		mux.HandleFunc("GET /v1/manifest", s.handleManifest)
+	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.opts.Pprof {
@@ -337,6 +436,9 @@ type compareResponse struct {
 // handleCompare runs (or serves from cache) one scheme comparison,
 // synchronously. Identical in-flight requests coalesce onto one simulation.
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
 	var req cdcs.CompareRequest
 	if err := decodeStrict(w, r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -445,6 +547,9 @@ type sweepResponse struct {
 // overlapping a prior sweep (or prior compares) only simulates the cells the
 // cache hasn't seen, and concurrent identical cells coalesce.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
 	var req cdcs.SweepRequest
 	if err := decodeStrict(w, r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -544,6 +649,9 @@ type experimentResponse struct {
 // handleExperiment enqueues an experiment run as an async job; a cache hit
 // completes instantly. 202 + job id while queued/running, 200 when done.
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
 	var req cdcs.ExperimentRequest
 	if err := decodeStrict(w, r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -714,13 +822,34 @@ func (s *Server) handleBlob(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(resultstore.EncodeBlob(hash, val))
 }
 
-// handleHealthz is the liveness probe.
+// handleHealthz is the liveness probe, and the carrier of this replica's
+// identity and membership view: fleet probers parse the body for the
+// instance id (a restarted process on a reused address is a *new* member —
+// its record, breaker verdict included, must reset) and for the (members,
+// epoch) snapshot, which is how a sweep coordinator discovers joins and
+// drains without any membership endpoint of its own. A draining or drained
+// replica answers 503 so probers steer traffic away, but the body still
+// carries the membership view it is leaving behind.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
+	status, code := "ok", http.StatusOK
+	switch s.draining.Load() {
+	case drainStateDraining:
+		status, code = "draining", http.StatusServiceUnavailable
+	case drainStateDrained:
+		status, code = "drained", http.StatusServiceUnavailable
+	}
+	resp := map[string]any{
+		"status":  status,
 		"uptime":  time.Since(s.started).String(),
 		"version": "v1",
-	})
+		"id":      s.id,
+	}
+	if s.membership != nil {
+		members, epoch := s.membership.Snapshot()
+		resp["members"] = members
+		resp["epoch"] = epoch
+	}
+	writeJSON(w, code, resp)
 }
 
 // handleMetrics emits the counters in Prometheus text exposition format.
@@ -766,6 +895,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		rl("cdcs_fleet_errors_total", rep.Errors)
 		rl("cdcs_fleet_breaker_trips_total", rep.Trips)
 	}
+	// Membership gauges: the live member count and epoch, plus cumulative
+	// joins/leaves the registry has seen (from announcements and adopted
+	// snapshots alike) and drains this replica accepted.
+	if s.membership != nil {
+		members, epoch := s.membership.Snapshot()
+		line("cdcs_fleet_members", len(members))
+		line("cdcs_fleet_epoch", epoch)
+		line("cdcs_fleet_joins_total", s.membership.Joins())
+		line("cdcs_fleet_leaves_total", s.membership.Leaves())
+	}
+	line("cdcs_fleet_drains_total", s.drains.Load())
 	line("cdcs_queue_depth", st.QueueDepth)
 	line("cdcs_jobs_total", st.JobsTotal)
 	line("cdcs_jobs_running", st.JobsRunning)

@@ -49,6 +49,11 @@ type DistributedSweepOptions struct {
 	// TopK is how many of a cell's top rendezvous holders compete on load
 	// (default 2; 1 restores pure rendezvous routing).
 	TopK int
+	// OnMembership, if set, is invoked whenever the coordinator adopts a
+	// new fleet member list mid-sweep (discovered through the membership
+	// snapshots replica healthz responses carry), with the members and
+	// epoch adopted. Informational — the re-routing itself is automatic.
+	OnMembership func(members []string, epoch uint64)
 }
 
 // ReplicaHealth is one replica's fleet-view snapshot at the end of a
@@ -124,12 +129,19 @@ func SweepDistributed(req SweepRequest, replicas []string, opts DistributedSweep
 
 	// The fleet view lives for the duration of the sweep: its prober tracks
 	// replica health in the background while request outcomes feed the
-	// per-replica load signals the router steers by.
+	// per-replica load signals the router steers by. Membership is live:
+	// replica healthz responses carry (members, epoch) snapshots, and
+	// AdoptMembers applies them to the view — a replica that joins
+	// mid-sweep starts absorbing the not-yet-dispatched cells it owns, and
+	// one that drains stops receiving new ones. The member list given here
+	// is only the starting point.
 	fl := fleet.New(fanout.NormalizeReplicas(replicas), fleet.Options{
 		ProbeInterval:    opts.FleetProbeInterval,
 		BreakerThreshold: opts.FleetBreakerThreshold,
 		TopK:             opts.TopK,
 		Client:           opts.Client,
+		AdoptMembers:     true,
+		OnMembership:     opts.OnMembership,
 	})
 	fl.Start()
 	defer fl.Close()
@@ -141,6 +153,7 @@ func SweepDistributed(req SweepRequest, replicas []string, opts DistributedSweep
 		OnProgress:  opts.Progress,
 		Fleet:       fl,
 		HotLatency:  opts.HotCellLatency,
+		Members:     fl.Replicas,
 	})
 	stats := &SweepReplicaStats{
 		Assigned:   map[string]int{},

@@ -1,0 +1,297 @@
+package cdcs_test
+
+// Churn chaos tests for dynamic fleet membership: replicas join and drain
+// in the middle of a distributed sweep, and the merged result must stay
+// byte-identical to an in-process Sweep — membership changes move *where* a
+// cell runs, never *what* it returns. CI runs these under -race.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cdcs"
+	"cdcs/internal/server"
+	"cdcs/internal/testutil"
+)
+
+// memberReplica starts one replica on a real listener with dynamic
+// membership (Advertise derived from the bound address, like `cdcs-serve
+// -advertise auto`), so joins, leaves, drains and gossip run over real HTTP.
+func memberReplica(t *testing.T, opts server.Options) (*server.Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + ln.Addr().String()
+	opts.Advertise = url
+	s, err := server.New(opts)
+	if err != nil {
+		ln.Close()
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	t.Cleanup(func() { s.Close(); hs.Close() })
+	return s, url
+}
+
+// joinedPair builds a converged two-member fleet: b joins through a, warm.
+func joinedPair(t *testing.T) (urlA, urlB string) {
+	t.Helper()
+	_, urlA = memberReplica(t, server.Options{})
+	b, urlB := memberReplica(t, server.Options{Join: urlA})
+	if _, err := b.JoinFleet(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return urlA, urlB
+}
+
+func containsURL(list []string, url string) bool {
+	for _, u := range list {
+		if u == url {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSweepJoinMidCampaignAbsorbsCells is the tentpole churn proof for
+// joins: a third replica warm-joins through a seed while a sweep is in
+// flight, the coordinator adopts the grown membership from healthz
+// snapshots, the joiner absorbs cells dispatched after the join — and the
+// merged result is byte-identical to the in-process Sweep.
+func TestSweepJoinMidCampaignAbsorbsCells(t *testing.T) {
+	req := distGrid()
+	local, err := cdcs.Sweep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localJSON, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	urlA, urlB := joinedPair(t)
+	joiner, joinerURL := memberReplica(t, server.Options{Join: urlA})
+
+	var (
+		joinOnce  sync.Once
+		adopted   = make(chan struct{})
+		adoptOnce sync.Once
+	)
+	res, stats, err := cdcs.SweepDistributed(req, []string{urlA, urlB}, cdcs.DistributedSweepOptions{
+		Parallelism:        1, // serialize cells so the join lands between dispatches
+		FleetProbeInterval: 10 * time.Millisecond,
+		OnMembership: func(members []string, epoch uint64) {
+			if containsURL(members, joinerURL) {
+				adoptOnce.Do(func() { close(adopted) })
+			}
+		},
+		Progress: func(done, total int) {
+			if done != 4 {
+				return
+			}
+			// Mid-sweep: join the fleet warm, then hold the sweep until
+			// the coordinator has adopted the 3-member view, so the
+			// remaining cells are dispatched over live membership.
+			joinOnce.Do(func() {
+				if _, jerr := joiner.JoinFleet(context.Background()); jerr != nil {
+					t.Errorf("mid-sweep join: %v", jerr)
+					adoptOnce.Do(func() { close(adopted) })
+					return
+				}
+				select {
+				case <-adopted:
+				case <-time.After(10 * time.Second):
+					t.Error("coordinator never adopted the joiner")
+					adoptOnce.Do(func() { close(adopted) })
+				}
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resJSON, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resJSON, localJSON) {
+		t.Error("sweep with a mid-campaign join is not byte-identical to the in-process Sweep")
+	}
+	if got := stats.Cells[joinerURL]; got == 0 {
+		t.Errorf("joiner absorbed no cells: %+v", stats.Cells)
+	}
+}
+
+// TestSweepDrainMidCampaignZeroFailures is the churn proof for drains: a
+// member drains mid-sweep, its not-yet-dispatched cells retry onto the
+// survivor via the retryable 503 path, the sweep completes with zero failed
+// cells and the result stays byte-identical.
+func TestSweepDrainMidCampaignZeroFailures(t *testing.T) {
+	req := distGrid()
+	local, err := cdcs.Sweep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localJSON, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	urlA, urlB := joinedPair(t)
+	var drainOnce sync.Once
+	res, stats, err := cdcs.SweepDistributed(req, []string{urlA, urlB}, cdcs.DistributedSweepOptions{
+		Parallelism:        1,
+		FleetProbeInterval: 10 * time.Millisecond,
+		Progress: func(done, total int) {
+			if done != 4 {
+				return
+			}
+			drainOnce.Do(func() {
+				resp, derr := http.Post(urlB+"/v1/drain", "application/json", strings.NewReader(""))
+				if derr != nil {
+					t.Errorf("mid-sweep drain: %v", derr)
+					return
+				}
+				resp.Body.Close()
+			})
+		},
+	})
+	if err != nil {
+		t.Fatalf("sweep failed after a mid-campaign drain: %v", err)
+	}
+	resJSON, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resJSON, localJSON) {
+		t.Error("sweep with a mid-campaign drain is not byte-identical to the in-process Sweep")
+	}
+	// Every cell landed somewhere; the drained member's refusals were
+	// retried, not failed.
+	total := 0
+	for _, n := range stats.Cells {
+		total += n
+	}
+	if total != len(res.Cells) {
+		t.Errorf("served %d cells, want %d (%+v)", total, len(res.Cells), stats.Cells)
+	}
+
+	// The drained replica finishes its lifecycle: healthz flips to 503
+	// "drained" and it leaves the survivor's member list.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, herr := http.Get(urlB + "/healthz")
+		drained := false
+		if herr == nil {
+			var body struct {
+				Status string `json:"status"`
+			}
+			json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			drained = body.Status == "drained"
+		}
+		if drained {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drained replica never reported drained")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestKillDuringWarmJoinLeavesFleetConsistent is the churn proof for join
+// failure: the seed dies after serving its manifest but before the joiner's
+// announce, so the join aborts with the fleet unchanged — no member list
+// anywhere contains the joiner — and a retry after revival succeeds.
+func TestKillDuringWarmJoinLeavesFleetConsistent(t *testing.T) {
+	seed, seedURL := memberReplica(t, server.Options{})
+
+	// Give the seed a corpus so the warm fill has work to do.
+	if _, _, err := cdcs.SweepDistributed(distGrid(), []string{seedURL}, cdcs.DistributedSweepOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The joiner reaches the seed through a fault proxy whose backend
+	// kills it the moment the manifest has been served — the seed dies
+	// mid-join, after the handshake started but before the announce.
+	var killAfterManifest sync.Once
+	var proxyRef struct {
+		sync.Mutex
+		p *testutil.FaultProxy
+	}
+	hooked := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seed.Handler().ServeHTTP(w, r)
+		if r.URL.Path == "/v1/manifest" {
+			killAfterManifest.Do(func() {
+				proxyRef.Lock()
+				defer proxyRef.Unlock()
+				if proxyRef.p != nil {
+					proxyRef.p.Kill()
+				}
+			})
+		}
+	})
+	backend := &http.Server{Handler: hooked}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go backend.Serve(ln)
+	t.Cleanup(func() { backend.Close() })
+	proxy, err := testutil.NewFaultProxy("http://" + ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proxy.Close)
+	proxyRef.Lock()
+	proxyRef.p = proxy
+	proxyRef.Unlock()
+
+	joiner, joinerURL := memberReplica(t, server.Options{Join: proxy.URL()})
+	if _, err := joiner.JoinFleet(context.Background()); err == nil {
+		t.Fatal("join survived the seed dying before the announce")
+	}
+	// Fleet unchanged: the joiner is in nobody's member list, not even its
+	// own, and the seed's view is intact.
+	resp, err := http.Get(seedURL + "/v1/members")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		Members []string `json:"members"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if containsURL(view.Members, joinerURL) {
+		t.Fatalf("aborted join left the joiner in the seed's view: %v", view.Members)
+	}
+	if !containsURL(view.Members, seedURL) {
+		t.Fatalf("seed lost itself after the aborted join: %v", view.Members)
+	}
+
+	// Revive the seed: the retry joins warm.
+	proxy.Revive()
+	st, err := joiner.JoinFleet(context.Background())
+	if err != nil {
+		t.Fatalf("join retry after revival: %v", err)
+	}
+	if st.Keys == 0 || st.Failed != 0 {
+		t.Fatalf("retry warm fill stats = %+v", st)
+	}
+	if st.Members != 2 {
+		t.Fatalf("post-retry fleet size = %d, want 2", st.Members)
+	}
+}
